@@ -1,0 +1,89 @@
+package nepdvs
+
+// One benchmark per paper table/figure (plus the §4.2 idle study and the
+// ablations): each bench regenerates the corresponding artifact end to end
+// — simulation, LOC analysis, rendering. Benchmarks run at a reduced cycle
+// count so `go test -bench=.` stays tractable; set -benchcycles to the
+// paper's 8000000 to regenerate at full scale (the dvsexplore command does
+// that by default).
+
+import (
+	"flag"
+	"testing"
+
+	"nepdvs/internal/experiments"
+	"nepdvs/internal/workload"
+)
+
+var benchCycles = flag.Int64("benchcycles", 400_000, "reference cycles per simulation in benchmarks")
+
+func opts() experiments.Options {
+	return experiments.Options{Cycles: *benchCycles, Parallelism: 8, Seed: 1}
+}
+
+func benchReport(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		reports, err := experiments.Run(id, opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 || reports[0].Body == "" {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the IXP family table (Figure 1).
+func BenchmarkFig1(b *testing.B) { benchReport(b, "fig1") }
+
+// BenchmarkFig2 regenerates the day traffic distribution (Figure 2).
+func BenchmarkFig2(b *testing.B) { benchReport(b, "fig2") }
+
+// BenchmarkFig5 regenerates the VF/threshold ladder table (Figure 5).
+func BenchmarkFig5(b *testing.B) { benchReport(b, "fig5") }
+
+// BenchmarkFig6 regenerates the TDVS power distributions (Figure 6):
+// 16 TDVS simulations plus the noDVS baseline, with the formula (2)
+// analyzer attached to each.
+func BenchmarkFig6(b *testing.B) { benchReport(b, "fig6") }
+
+// BenchmarkFig7 regenerates the TDVS throughput distributions (Figure 7).
+func BenchmarkFig7(b *testing.B) { benchReport(b, "fig7") }
+
+// BenchmarkFig8 regenerates the 80th-percentile power surface (Figure 8).
+func BenchmarkFig8(b *testing.B) { benchReport(b, "fig8") }
+
+// BenchmarkFig9 regenerates the 80th-percentile throughput surface
+// (Figure 9).
+func BenchmarkFig9(b *testing.B) { benchReport(b, "fig9") }
+
+// BenchmarkFig10 regenerates the EDVS power/throughput distributions
+// (Figure 10).
+func BenchmarkFig10(b *testing.B) { benchReport(b, "fig10") }
+
+// BenchmarkFig11 regenerates the 4-benchmark × 3-traffic × 3-policy power
+// comparison grid (Figure 11): 36 simulations.
+func BenchmarkFig11(b *testing.B) { benchReport(b, "fig11") }
+
+// BenchmarkIdleStudy regenerates the §4.2 idle-time distribution analysis.
+func BenchmarkIdleStudy(b *testing.B) { benchReport(b, "idle") }
+
+// BenchmarkAblationHysteresis measures the TDVS hysteresis ablation.
+func BenchmarkAblationHysteresis(b *testing.B) { benchReport(b, "ablation-hysteresis") }
+
+// BenchmarkAblationPenalty measures the VF-transition penalty sweep.
+func BenchmarkAblationPenalty(b *testing.B) { benchReport(b, "ablation-penalty") }
+
+// BenchmarkAblationCombined measures the combined-policy ablation.
+func BenchmarkAblationCombined(b *testing.B) { benchReport(b, "ablation-combined") }
+
+// BenchmarkTDVSSweep measures the shared §4.1 sweep that Figures 6–9 are
+// views of, end to end.
+func BenchmarkTDVSSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTDVSSweep(workload.IPFwdr, opts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

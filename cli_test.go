@@ -1,0 +1,228 @@
+package nepdvs
+
+// End-to-end tests of the command-line tools: build every binary with the
+// Go toolchain and drive realistic pipelines (simulate → trace → check /
+// summarize, generate traffic → replay, generate a checker → build it).
+// Skipped in -short mode.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles all commands into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds binaries with the go toolchain")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func runTool(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	tracePath := filepath.Join(work, "run.trc")
+
+	// 1. Simulate with a trace.
+	out, err := runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-level", "high", "-cycles", "600000", "-trace", tracePath)
+	if err != nil {
+		t.Fatalf("nepsim: %v\n%s", err, out)
+	}
+	for _, want := range []string{"forwarded", "average power", "ME0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("nepsim output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 2. Summarize the trace.
+	out, err = runTool(t, filepath.Join(bins, "tracestat"), tracePath)
+	if err != nil {
+		t.Fatalf("tracestat: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "forward") || !strings.Contains(out, "Mbps") {
+		t.Errorf("tracestat output:\n%s", out)
+	}
+
+	// 3. Check a passing assertion; expect exit 0.
+	out, err = runTool(t, filepath.Join(bins, "locheck"),
+		"-e", "total_pkt(forward[i]) == i + 1", tracePath)
+	if err != nil {
+		t.Fatalf("locheck pass case: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASSED") {
+		t.Errorf("locheck output:\n%s", out)
+	}
+
+	// 4. Check a failing assertion; expect exit 1.
+	out, err = runTool(t, filepath.Join(bins, "locheck"),
+		"-e", "energy(forward[i+1]) - energy(forward[i]) <= 0", tracePath)
+	if err == nil {
+		t.Fatalf("locheck should exit non-zero on violations:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("locheck exit = %v, want 1\n%s", err, out)
+	}
+	if !strings.Contains(out, "FAILED") {
+		t.Errorf("locheck failure output:\n%s", out)
+	}
+
+	// 5. Distribution analyzer over the same trace.
+	out, err = runTool(t, filepath.Join(bins, "locheck"),
+		"-e", "(energy(forward[i+50]) - energy(forward[i])) / (time(forward[i+50]) - time(forward[i])) cdf [0.5, 2.25, 0.25]",
+		tracePath)
+	if err != nil {
+		t.Fatalf("locheck dist: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "cdf") {
+		t.Errorf("locheck dist output:\n%s", out)
+	}
+}
+
+func TestCLITrafficReplay(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	pkts := filepath.Join(work, "packets.txt")
+
+	out, err := runTool(t, filepath.Join(bins, "trafficgen"),
+		"-mbps", "700", "-ms", "1.5", "-seed", "7", "-o", pkts)
+	if err != nil {
+		t.Fatalf("trafficgen: %v\n%s", err, out)
+	}
+	run := func() string {
+		out, err := runTool(t, filepath.Join(bins, "nepsim"),
+			"-bench", "nat", "-cycles", "900000", "-packets", pkts)
+		if err != nil {
+			t.Fatalf("nepsim replay: %v\n%s", err, out)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Error("replayed runs are not byte-identical")
+	}
+	if !strings.Contains(a, "offered") {
+		t.Errorf("replay output:\n%s", a)
+	}
+}
+
+func TestCLIFormulaFiles(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	formulas := filepath.Join(work, "f.loc")
+	if err := os.WriteFile(formulas, []byte(`
+power: (energy(forward[i+50]) - energy(forward[i])) /
+       (time(forward[i+50]) - time(forward[i])) cdf [0.5, 2.25, 0.25];
+order: cycle(forward[i+1]) - cycle(forward[i]) >= 0;
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// nepsim evaluates the formula file live.
+	out, err := runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-cycles", "600000", "-formulas", formulas)
+	if err != nil {
+		t.Fatalf("nepsim -formulas: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "formula power") || !strings.Contains(out, "formula order") {
+		t.Errorf("nepsim formula output:\n%s", out)
+	}
+	// locgen picks one formula by name from the file.
+	gen := filepath.Join(work, "an.go")
+	out, err = runTool(t, filepath.Join(bins, "locgen"), "-f", formulas, "-name", "power", "-o", gen)
+	if err != nil {
+		t.Fatalf("locgen -f -name: %v\n%s", err, out)
+	}
+	src, err := os.ReadFile(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "isDistFormula = true") {
+		t.Error("locgen picked the wrong formula")
+	}
+	// Ambiguous selection without -name fails.
+	if out, err := runTool(t, filepath.Join(bins, "locgen"), "-f", formulas); err == nil {
+		t.Errorf("locgen without -name on a multi-formula file should fail:\n%s", out)
+	}
+}
+
+func TestCLILocgenBuilds(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	gen := filepath.Join(work, "checker.go")
+	out, err := runTool(t, filepath.Join(bins, "locgen"),
+		"-e", "abs(time(forward[i+1]) - time(forward[i])) >= 0", "-o", gen)
+	if err != nil {
+		t.Fatalf("locgen: %v\n%s", err, out)
+	}
+	// The generated program must compile standalone.
+	bin := filepath.Join(work, "checker")
+	cmd := exec.Command("go", "build", "-o", bin, gen)
+	cmd.Dir = work
+	if bout, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("generated checker does not build: %v\n%s", err, bout)
+	}
+}
+
+func TestCLIDvsexploreStaticFigs(t *testing.T) {
+	bins := buildTools(t)
+	outdir := t.TempDir()
+	out, err := runTool(t, filepath.Join(bins, "dvsexplore"),
+		"-outdir", outdir, "fig1", "fig2", "fig5")
+	if err != nil {
+		t.Fatalf("dvsexplore: %v\n%s", err, out)
+	}
+	for _, f := range []string{"fig1.dat", "fig2.dat", "fig2.svg", "fig5.dat"} {
+		if _, err := os.Stat(filepath.Join(outdir, f)); err != nil {
+			t.Errorf("missing output %s", f)
+		}
+	}
+	// -list enumerates experiments.
+	out, err = runTool(t, filepath.Join(bins, "dvsexplore"), "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig11") || !strings.Contains(out, "ablation-oracle") {
+		t.Errorf("-list output:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bins := buildTools(t)
+	cases := []struct {
+		tool string
+		args []string
+	}{
+		{"nepsim", []string{"-bench", "bogus"}},
+		{"nepsim", []string{"-policy", "bogus"}},
+		{"nepsim", []string{"-level", "bogus"}},
+		{"locheck", []string{}},
+		{"locheck", []string{"-e", "syntax error (", "/dev/null"}},
+		{"locgen", []string{}},
+		{"trafficgen", []string{"-mbps", "-5"}},
+		{"dvsexplore", []string{"nonexistent-experiment"}},
+		{"tracestat", []string{"/nonexistent/file"}},
+	}
+	for _, c := range cases {
+		out, err := runTool(t, filepath.Join(bins, c.tool), c.args...)
+		if err == nil {
+			t.Errorf("%s %v: expected failure\n%s", c.tool, c.args, out)
+		}
+	}
+}

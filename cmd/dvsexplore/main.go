@@ -1,0 +1,88 @@
+// Command dvsexplore regenerates the paper's tables and figures (and the
+// ablations beyond it). With no arguments it runs everything; otherwise the
+// arguments name experiments (see -list).
+//
+// Examples:
+//
+//	dvsexplore -list
+//	dvsexplore fig6 fig7
+//	dvsexplore -cycles 2000000 -outdir results all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nepdvs/internal/experiments"
+)
+
+func main() {
+	var (
+		cycles = flag.Int64("cycles", 8_000_000, "reference cycles per simulation run")
+		par    = flag.Int("par", 8, "parallel simulations")
+		seed   = flag.Int64("seed", 1, "traffic seed")
+		outdir = flag.String("outdir", "", "write each report to <outdir>/<id>.dat instead of stdout")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if err := run(*cycles, *par, *seed, *outdir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cycles int64, par int, seed int64, outdir string, args []string) error {
+	o := experiments.Options{Cycles: cycles, Parallelism: par, Seed: seed}
+	var reports []experiments.Report
+	start := time.Now()
+	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+		rs, err := experiments.RunAll(o)
+		if err != nil {
+			return err
+		}
+		reports = rs
+	} else {
+		for _, id := range args {
+			rs, err := experiments.Run(id, o)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rs...)
+		}
+	}
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+		for _, r := range reports {
+			path := filepath.Join(outdir, r.ID+".dat")
+			content := fmt.Sprintf("# %s\n%s", r.Title, r.Body)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%s)\n", path, r.Title)
+			for _, ch := range r.Charts {
+				svgPath := filepath.Join(outdir, ch.Name+".svg")
+				if err := os.WriteFile(svgPath, []byte(ch.SVG), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", svgPath)
+			}
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dvsexplore: %d reports in %v\n", len(reports), time.Since(start).Round(time.Millisecond))
+	return nil
+}

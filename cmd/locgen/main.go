@@ -1,0 +1,88 @@
+// Command locgen generates a standalone Go checker/analyzer program from an
+// LOC formula — the paper's "automatically generated trace checkers" flow.
+// The emitted source depends only on the Go standard library; build it with
+// `go build` and point it at a text trace.
+//
+// Examples:
+//
+//	locgen -e 'cycle(deq[i]) - cycle(enq[i]) <= 50' -o checker.go
+//	locgen -f formulas.loc -name power -o analyzer.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/loc"
+)
+
+func main() {
+	var (
+		expr     = flag.String("e", "", "formula source text")
+		file     = flag.String("f", "", "formula file (pick one formula with -name)")
+		name     = flag.String("name", "", "formula name to generate when -f holds several")
+		out      = flag.String("o", "", "output file (default stdout)")
+		noSchema = flag.Bool("no-schema", false, "skip annotation-name checking")
+	)
+	flag.Parse()
+	if err := run(*expr, *file, *name, *out, *noSchema); err != nil {
+		fmt.Fprintln(os.Stderr, "locgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expr, file, name, out string, noSchema bool) error {
+	var f *loc.Formula
+	switch {
+	case expr != "" && file != "":
+		return fmt.Errorf("use -e or -f, not both")
+	case expr != "":
+		var err error
+		f, err = loc.Parse(expr)
+		if err != nil {
+			return err
+		}
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		fs, err := loc.ParseFile(string(b))
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			if len(fs) > 1 {
+				return fmt.Errorf("file holds %d formulas; pick one with -name", len(fs))
+			}
+			f = fs[0]
+		} else {
+			for _, cand := range fs {
+				if cand.Name == name {
+					f = cand
+					break
+				}
+			}
+			if f == nil {
+				return fmt.Errorf("no formula named %q in %s", name, file)
+			}
+		}
+	default:
+		return fmt.Errorf("no formula given (use -e or -f)")
+	}
+	schema := core.TraceSchema()
+	if noSchema {
+		schema = nil
+	}
+	src, err := loc.GenerateGo(f, schema)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err := os.Stdout.WriteString(src)
+		return err
+	}
+	return os.WriteFile(out, []byte(src), 0o644)
+}

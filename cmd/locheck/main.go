@@ -1,0 +1,91 @@
+// Command locheck evaluates LOC assertion formulas against a simulation
+// trace: checkers report violations, distribution formulas print their
+// hist/cdf/ccdf tables. Traces may be text or binary (auto-detected) and
+// are streamed in O(window) memory.
+//
+// Examples:
+//
+//	locheck -e 'cycle(deq[i]) - cycle(enq[i]) <= 50' run.trc
+//	locheck -f formulas.loc run.trc
+//	nepsim -trace /dev/stdout | locheck -f formulas.loc
+//
+// Exit status: 0 when all checkers pass, 1 on assertion failure, 2 on
+// usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/loc"
+	"nepdvs/internal/trace"
+)
+
+func main() {
+	var (
+		expr     = flag.String("e", "", "formula source text")
+		file     = flag.String("f", "", "formula file")
+		noSchema = flag.Bool("no-schema", false, "skip annotation-name checking against the standard trace schema")
+	)
+	flag.Parse()
+	code, err := run(*expr, *file, *noSchema, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locheck:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(expr, file string, noSchema bool, args []string) (int, error) {
+	src := expr
+	if file != "" {
+		if src != "" {
+			return 0, fmt.Errorf("use -e or -f, not both")
+		}
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return 0, err
+		}
+		src = string(b)
+	}
+	if src == "" {
+		return 0, fmt.Errorf("no formulas given (use -e or -f)")
+	}
+	in := os.Stdin
+	if len(args) > 1 {
+		return 0, fmt.Errorf("at most one trace file argument")
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		in = f
+	}
+	source, err := trace.OpenSource(in)
+	if err != nil {
+		return 0, err
+	}
+	schema := core.TraceSchema()
+	if noSchema {
+		schema = nil
+	}
+	results, err := loc.RunFormulas(src, source, schema)
+	if err != nil {
+		return 0, err
+	}
+	failed := false
+	for _, r := range results {
+		fmt.Print(r.Summary())
+		if r.Check != nil && !r.Check.Passed() {
+			failed = true
+		}
+	}
+	if failed {
+		return 1, nil
+	}
+	return 0, nil
+}

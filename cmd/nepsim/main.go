@@ -1,0 +1,151 @@
+// Command nepsim runs one NPU simulation — a benchmark under a traffic load
+// with an optional DVS policy — and reports statistics, optionally writing
+// the event trace for offline LOC analysis.
+//
+// Examples:
+//
+//	nepsim -bench ipfwdr -level high -cycles 8000000 -trace run.trc
+//	nepsim -bench nat -mbps 600 -policy tdvs -threshold 1000 -window 40000
+//	nepsim -bench md4 -level medium -policy edvs -window 40000 -idle 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/trace"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "ipfwdr", "benchmark: ipfwdr, url, nat or md4")
+		level     = flag.String("level", "high", "traffic level: low, medium or high")
+		mbps      = flag.Float64("mbps", 0, "override offered load in Mbps (0 = use -level)")
+		cycles    = flag.Int64("cycles", 8_000_000, "run length in 600 MHz reference cycles")
+		seed      = flag.Int64("seed", 1, "traffic seed")
+		policy    = flag.String("policy", "nodvs", "DVS policy: nodvs, tdvs, edvs, combined or oracle")
+		threshold = flag.Float64("threshold", 1000, "TDVS top threshold in Mbps")
+		window    = flag.Int64("window", 40000, "DVS monitor window in reference cycles")
+		idleFrac  = flag.Float64("idle", 0.10, "EDVS idle threshold fraction")
+		hyst      = flag.Float64("hysteresis", 0, "TDVS hysteresis band (ablation)")
+		tracePath = flag.String("trace", "", "write the event trace to this file")
+		binary    = flag.Bool("binary", false, "write the trace in binary format")
+		formulas  = flag.String("formulas", "", "LOC formulas to evaluate live (file path)")
+		pipeline  = flag.Bool("pipeline", false, "emit per-batch pipeline events (large traces)")
+		packets   = flag.String("packets", "", "replay packet arrivals from a trafficgen file instead of generating")
+	)
+	flag.Parse()
+	if err := run(*bench, *level, *mbps, *cycles, *seed, *policy, *threshold, *window,
+		*idleFrac, *hyst, *tracePath, *binary, *formulas, *pipeline, *packets); err != nil {
+		fmt.Fprintln(os.Stderr, "nepsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, level string, mbps float64, cycles, seed int64, policy string,
+	threshold float64, window int64, idleFrac, hyst float64,
+	tracePath string, binary bool, formulaPath string, pipeline bool, packetPath string) error {
+
+	lv, err := traffic.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	cfg, err := core.DefaultRunConfig(workload.Name(bench), lv, seed)
+	if err != nil {
+		return err
+	}
+	cfg.Cycles = cycles
+	cfg.Chip.EmitPipeline = pipeline
+	if mbps > 0 {
+		cfg.Traffic = traffic.Config{MeanMbps: mbps, Seed: seed}
+	}
+	if packetPath != "" {
+		f, err := os.Open(packetPath)
+		if err != nil {
+			return err
+		}
+		pkts, err := traffic.ReadPackets(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Packets = pkts
+	}
+	switch policy {
+	case "nodvs":
+		cfg.Policy = core.PolicyConfig{Kind: core.NoDVS}
+	case "tdvs":
+		cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: threshold, WindowCycles: window, Hysteresis: hyst}
+	case "edvs":
+		cfg.Policy = core.PolicyConfig{Kind: core.EDVS, WindowCycles: window, IdleFrac: idleFrac}
+	case "combined":
+		cfg.Policy = core.PolicyConfig{Kind: core.CombinedDVS, TopThresholdMbps: threshold, WindowCycles: window, IdleFrac: idleFrac}
+	case "oracle":
+		cfg.Policy = core.PolicyConfig{Kind: core.OracleDVS, TopThresholdMbps: threshold, WindowCycles: window}
+	default:
+		return fmt.Errorf("unknown policy %q (want nodvs, tdvs, edvs, combined or oracle)", policy)
+	}
+	if formulaPath != "" {
+		src, err := os.ReadFile(formulaPath)
+		if err != nil {
+			return err
+		}
+		cfg.Formulas = string(src)
+	}
+
+	var closer interface{ Close() error }
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if binary {
+			w := trace.NewBinaryWriter(f)
+			cfg.ExtraSink = w
+			closer = w
+		} else {
+			w := trace.NewTextWriter(f)
+			cfg.ExtraSink = w
+			closer = w
+		}
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		if err := closer.Close(); err != nil {
+			return err
+		}
+	}
+
+	st := res.Stats
+	fmt.Printf("benchmark      %s\n", bench)
+	fmt.Printf("policy         %s\n", res.Config.Policy.Kind)
+	fmt.Printf("offered        %.1f Mbps (%d packets)\n", st.OfferedMbps(), st.PktsArrived)
+	fmt.Printf("forwarded      %.1f Mbps (%d packets)\n", st.SentMbps(), st.PktsSent)
+	fmt.Printf("packet loss    %.4f\n", st.LossFrac())
+	fmt.Printf("energy         %.1f uJ over %v\n", st.EnergyUJ, st.Now)
+	fmt.Printf("average power  %.3f W\n", st.AvgPowerW)
+	for i := range st.MEIdleFrac {
+		fmt.Printf("ME%d            idle %.3f  stall %.3f  instr %d\n",
+			i, st.MEIdleFrac[i], st.MEStallFrac[i], st.MEInstr[i])
+	}
+	if res.DVSStats != nil {
+		fmt.Printf("dvs            %d windows, %d transitions\n", res.DVSStats.Windows, res.DVSStats.Transitions)
+	}
+	if res.MonitorFraction > 0 {
+		fmt.Printf("monitor energy %.4f%% of total\n", res.MonitorFraction*100)
+	}
+	for _, lr := range res.LOC {
+		fmt.Println()
+		fmt.Print(lr.Summary())
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command tracestat summarizes a simulation trace: event counts, covered
+// time span, energy and average power, and forwarding progress. Traces may
+// be text or binary (auto-detected) and are read from a file argument or
+// stdin.
+//
+// Example:
+//
+//	nepsim -bench ipfwdr -trace run.trc && tracestat run.trc
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nepdvs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	in := os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("at most one trace file argument")
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	src, err := trace.OpenSource(in)
+	if err != nil {
+		return err
+	}
+	sum, err := trace.Summarize(src)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum)
+	return nil
+}

@@ -1,0 +1,56 @@
+// TDVS design-space exploration: sweep threshold × window for a chosen
+// benchmark, extract the 80th-percentile power and throughput from the LOC
+// distribution analyzers, and print the two surfaces of the paper's
+// Figures 8 and 9 — then name the power-optimal and performance-optimal
+// configurations the way §4.1 concludes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/stats"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "ipfwdr", "benchmark to explore")
+	cycles := flag.Int64("cycles", 2_000_000, "reference cycles per run")
+	flag.Parse()
+
+	base, err := core.DefaultRunConfig(workload.Name(*bench), traffic.LevelHigh, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Cycles = *cycles
+	base.Formulas = core.StandardFormulas()
+
+	thresholds := []float64{800, 1000, 1200, 1400}
+	windows := []int64{20000, 40000, 60000, 80000}
+	results, err := core.SweepTDVS(base, thresholds, windows, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	power := stats.NewSurface("threshold_mbps", "window_cycles", "power_w_p80")
+	tput := stats.NewSurface("threshold_mbps", "window_cycles", "throughput_mbps_p80")
+	for _, r := range results {
+		p, _ := r.Result.LOCByName("power")
+		t, _ := r.Result.LOCByName("throughput")
+		power.Set(r.Point.ThresholdMbps, float64(r.Point.WindowCycles), p.Dist.Hist.QuantileUpper(0.8))
+		tput.Set(r.Point.ThresholdMbps, float64(r.Point.WindowCycles), t.Dist.Hist.QuantileLower(0.8))
+	}
+
+	fmt.Println("# Figure 8: 80th-percentile power surface")
+	fmt.Print(power.Render())
+	fmt.Println("# Figure 9: 80th-percentile throughput surface")
+	fmt.Print(tput.Render())
+
+	px, py, pz := power.MinZ()
+	tx, ty, tz := tput.MaxZ()
+	fmt.Printf("power-optimal config:       threshold %g Mbps, window %gk cycles (%.3f W at p80)\n", px, py/1000, pz)
+	fmt.Printf("performance-optimal config: threshold %g Mbps, window %gk cycles (%.0f Mbps at p80)\n", tx, ty/1000, tz)
+}

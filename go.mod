@@ -1,0 +1,3 @@
+module nepdvs
+
+go 1.22

@@ -1,0 +1,428 @@
+// Package core is the design-exploration engine: it wires the NPU model,
+// a benchmark workload, a traffic source, an optional DVS policy and a set
+// of LOC assertion formulas into one reproducible simulation run, and
+// provides the parameter-sweep machinery the paper's Figures 6–11 are built
+// from.
+//
+// A Run is fully described by its RunConfig value; two Runs with equal
+// configs produce identical traces and results. LOC analyzers attach as
+// live trace sinks, so distribution analysis happens in O(window) memory
+// while the simulation streams — no trace files are needed (though a sink
+// can be supplied to also persist the trace).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nepdvs/internal/dvs"
+	"nepdvs/internal/loc"
+	"nepdvs/internal/npu"
+	"nepdvs/internal/sim"
+	"nepdvs/internal/trace"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+// PolicyKind selects the DVS policy of a run.
+type PolicyKind int
+
+// Policies.
+const (
+	NoDVS PolicyKind = iota
+	TDVS
+	EDVS
+	CombinedDVS
+	// OracleDVS is the lookahead ablation: a traffic-based policy with a
+	// perfect one-window-ahead load predictor (see dvs.Oracle).
+	OracleDVS
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case NoDVS:
+		return "noDVS"
+	case TDVS:
+		return "TDVS"
+	case EDVS:
+		return "EDVS"
+	case CombinedDVS:
+		return "TDVS+EDVS"
+	case OracleDVS:
+		return "oracleTDVS"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(p))
+}
+
+// PolicyConfig parameterizes the DVS policy.
+type PolicyConfig struct {
+	Kind PolicyKind
+	// WindowCycles is the monitor window in reference-clock cycles
+	// (20k–80k in the paper).
+	WindowCycles int64
+	// TopThresholdMbps is the TDVS top-rung threshold (800–1400 in the
+	// paper); the rest of the ladder is derived per Figure 5.
+	TopThresholdMbps float64
+	// IdleFrac is the EDVS idle threshold (0.10 in the paper).
+	IdleFrac float64
+	// Hysteresis widens the TDVS decision band (ablation; 0 = paper).
+	Hysteresis float64
+}
+
+// RunConfig fully describes one simulation run.
+type RunConfig struct {
+	Bench      workload.Name
+	WorkParams workload.Params
+	Chip       npu.Config
+	Traffic    traffic.Config
+	// Cycles is the run length in reference-clock cycles (the paper uses
+	// 8·10⁶ per configuration).
+	Cycles int64
+	Policy PolicyConfig
+	// Packets, when non-nil, replaces the generated traffic with an
+	// explicit arrival schedule (e.g. one loaded from a trafficgen file);
+	// the Traffic config is then ignored.
+	Packets []traffic.Packet
+	// Formulas is LOC source text evaluated live against the trace
+	// (multiple formulas separated by semicolons, optionally named).
+	Formulas string
+	// ExtraSink, when non-nil, additionally receives every trace event
+	// (e.g. a file writer).
+	ExtraSink trace.Sink
+}
+
+// DefaultRunConfig assembles the paper's experimental setup for a benchmark
+// at a traffic level. The traffic day model is scaled so its afternoon peak
+// drives the IXP1200 near 1 Gbps, matching the Figure 6–9 threshold regime.
+func DefaultRunConfig(bench workload.Name, level traffic.Level, seed int64) (RunConfig, error) {
+	if !bench.Valid() {
+		return RunConfig{}, fmt.Errorf("core: unknown benchmark %q", bench)
+	}
+	day := traffic.DefaultDayModel()
+	tc, err := day.SampleLevel(level, 4, seed)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	return RunConfig{
+		Bench:      bench,
+		WorkParams: workload.DefaultParams(),
+		Chip:       npu.DefaultConfig(),
+		Traffic:    tc,
+		Cycles:     8_000_000,
+		Policy:     PolicyConfig{Kind: NoDVS},
+	}, nil
+}
+
+// Duration returns the simulated time of the run.
+func (c RunConfig) Duration() sim.Time {
+	return sim.NewClock(c.Chip.RefMHz).Cycles(c.Cycles)
+}
+
+func (c RunConfig) validate() error {
+	if !c.Bench.Valid() {
+		return fmt.Errorf("core: unknown benchmark %q", c.Bench)
+	}
+	if c.Cycles <= 0 {
+		return fmt.Errorf("core: non-positive run length %d cycles", c.Cycles)
+	}
+	switch c.Policy.Kind {
+	case NoDVS:
+	case TDVS, OracleDVS:
+		if c.Policy.TopThresholdMbps <= 0 {
+			return fmt.Errorf("core: %v needs a positive top threshold, got %v", c.Policy.Kind, c.Policy.TopThresholdMbps)
+		}
+		if c.Policy.WindowCycles <= 0 {
+			return fmt.Errorf("core: %v needs a positive window, got %d", c.Policy.Kind, c.Policy.WindowCycles)
+		}
+	case EDVS, CombinedDVS:
+		if c.Policy.WindowCycles <= 0 {
+			return fmt.Errorf("core: %v needs a positive window, got %d", c.Policy.Kind, c.Policy.WindowCycles)
+		}
+		if c.Policy.IdleFrac <= 0 || c.Policy.IdleFrac >= 1 {
+			return fmt.Errorf("core: %v idle threshold %v outside (0, 1)", c.Policy.Kind, c.Policy.IdleFrac)
+		}
+		if c.Policy.Kind == CombinedDVS && c.Policy.TopThresholdMbps <= 0 {
+			return fmt.Errorf("core: combined policy needs a TDVS threshold")
+		}
+	default:
+		return fmt.Errorf("core: unknown policy kind %d", int(c.Policy.Kind))
+	}
+	return nil
+}
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	Config RunConfig
+	Stats  npu.Stats
+	// LOC holds one result per formula, in source order.
+	LOC []loc.Result
+	// DVSStats is the controller's activity (nil for NoDVS).
+	DVSStats *dvs.Stats
+	// MonitorFraction is the TDVS monitor energy share (0 when disabled).
+	MonitorFraction float64
+}
+
+// LOCByName finds a formula result by name.
+func (r *RunResult) LOCByName(name string) (*loc.Result, bool) {
+	for i := range r.LOC {
+		if r.LOC[i].Name == name {
+			return &r.LOC[i], true
+		}
+	}
+	return nil, false
+}
+
+// TraceSchema returns the annotation schema of the traces this engine
+// produces: the five standard annotations plus the extras emitted by the
+// chip model (per-window idle fractions, VF-change parameters, pipeline
+// batch sizes).
+func TraceSchema() map[string]bool {
+	return loc.StandardSchema("idle_frac", "mhz", "volts", "instrs")
+}
+
+// Run executes one simulation run to completion.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	// Compile formulas first: cheap, and user errors surface before the
+	// simulation burns time.
+	var runner *loc.Runner
+	if cfg.Formulas != "" {
+		fs, err := loc.ParseFile(cfg.Formulas)
+		if err != nil {
+			return nil, err
+		}
+		compiled := make([]*loc.Compiled, len(fs))
+		for i, f := range fs {
+			c, err := loc.Compile(f, TraceSchema())
+			if err != nil {
+				return nil, err
+			}
+			compiled[i] = c
+		}
+		runner, err = loc.NewRunner(loc.RunnerOptions{}, compiled...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	progs, err := workload.Programs(cfg.Bench, cfg.WorkParams, cfg.Chip.NumMEs, cfg.Chip.RxMEs)
+	if err != nil {
+		return nil, err
+	}
+
+	chipCfg := cfg.Chip
+	chipCfg.MonitorOverhead = cfg.Policy.Kind == TDVS || cfg.Policy.Kind == CombinedDVS || cfg.Policy.Kind == OracleDVS
+
+	var sinks trace.MultiSink
+	if runner != nil {
+		sinks = append(sinks, runner)
+	}
+	if cfg.ExtraSink != nil {
+		sinks = append(sinks, cfg.ExtraSink)
+	}
+	var sink trace.Sink
+	if len(sinks) > 0 {
+		sink = sinks
+	}
+
+	k := &sim.Kernel{}
+	chip, err := npu.New(chipCfg, k, progs, sink)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize the packet stream up front: the oracle policy needs the
+	// per-window volumes before the run starts.
+	dur := cfg.Duration()
+	pkts := cfg.Packets
+	if pkts == nil {
+		gen, err := traffic.NewGenerator(cfg.Traffic)
+		if err != nil {
+			return nil, err
+		}
+		pkts = gen.GenerateUntil(dur)
+	}
+
+	// Attach the DVS policy.
+	var policyStats func() dvs.Stats
+	switch cfg.Policy.Kind {
+	case TDVS:
+		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := dvs.NewTDVS(k, chip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.Hysteresis)
+		if err != nil {
+			return nil, err
+		}
+		policyStats = ctl.Stats
+	case EDVS:
+		// EDVS shares the ladder VF rungs; thresholds are unused, so the
+		// ladder's top threshold value is immaterial.
+		ctl, err := dvs.NewEDVS(k, chip, dvs.MustLadder(1000), cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
+		if err != nil {
+			return nil, err
+		}
+		policyStats = ctl.Stats
+	case CombinedDVS:
+		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := dvs.NewCombined(k, chip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
+		if err != nil {
+			return nil, err
+		}
+		policyStats = ctl.Stats
+	case OracleDVS:
+		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
+		if err != nil {
+			return nil, err
+		}
+		arrivals := make([]sim.Time, len(pkts))
+		bits := make([]uint64, len(pkts))
+		for i, p := range pkts {
+			arrivals[i] = p.Arrival
+			bits[i] = p.Bits()
+		}
+		window := sim.NewClock(cfg.Chip.RefMHz).Cycles(cfg.Policy.WindowCycles)
+		vols, err := dvs.WindowVolumes(arrivals, bits, window, dur)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := dvs.NewOracle(k, chip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, vols)
+		if err != nil {
+			return nil, err
+		}
+		policyStats = ctl.Stats
+	}
+
+	if err := chip.Inject(pkts); err != nil {
+		return nil, err
+	}
+
+	k.RunUntil(dur)
+	chip.StopTickers()
+
+	if err := chip.SinkErr(); err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{
+		Config:          cfg,
+		Stats:           chip.Snapshot(),
+		MonitorFraction: chip.Meter().MonitorFraction(),
+	}
+	if runner != nil {
+		locRes, err := runner.Results()
+		if err != nil {
+			return nil, err
+		}
+		res.LOC = locRes
+	}
+	if policyStats != nil {
+		st := policyStats()
+		res.DVSStats = &st
+	}
+	return res, nil
+}
+
+// Point is one TDVS design point of the Figure 6–9 sweeps.
+type Point struct {
+	ThresholdMbps float64
+	WindowCycles  int64
+}
+
+// SweepResult pairs a design point with its run outcome.
+type SweepResult struct {
+	Point  Point
+	Result *RunResult
+}
+
+// SweepTDVS runs the cross product of thresholds × windows (each with the
+// base config's benchmark, traffic and formulas), in parallel across
+// goroutines — each run owns its kernel, so runs are independent. Results
+// are returned in deterministic (threshold-major) order.
+func SweepTDVS(base RunConfig, thresholds []float64, windows []int64, parallelism int) ([]SweepResult, error) {
+	if len(thresholds) == 0 || len(windows) == 0 {
+		return nil, fmt.Errorf("core: empty sweep axes")
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	var points []Point
+	for _, th := range thresholds {
+		for _, w := range windows {
+			points = append(points, Point{ThresholdMbps: th, WindowCycles: w})
+		}
+	}
+	results := make([]SweepResult, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i, pt := range points {
+		i, pt := i, pt
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := base
+			cfg.Policy = PolicyConfig{
+				Kind:             TDVS,
+				TopThresholdMbps: pt.ThresholdMbps,
+				WindowCycles:     pt.WindowCycles,
+				Hysteresis:       base.Policy.Hysteresis,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: point %+v: %w", pt, err)
+				return
+			}
+			results[i] = SweepResult{Point: pt, Result: res}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// The paper's analysis formulas, parameterized by their per-N-packet
+// window. Power is formula (2) — a ≤-distribution ("fraction of instances
+// lower than") — and throughput is formula (3), a ≥-distribution.
+
+// PowerFormula returns the paper's formula (2): average power over each n
+// forwarded packets, as a cdf over <min, max, step> watts.
+func PowerFormula(n int, min, max, step float64) string {
+	return fmt.Sprintf(
+		"power: (energy(forward[i+%d]) - energy(forward[i])) / (time(forward[i+%d]) - time(forward[i])) cdf [%g, %g, %g];",
+		n, n, min, max, step)
+}
+
+// ThroughputFormula returns the paper's formula (3): average forwarding
+// rate in Mbps over each n forwarded packets, as a ccdf over <min, max,
+// step> Mbps.
+func ThroughputFormula(n int, min, max, step float64) string {
+	return fmt.Sprintf(
+		"throughput: (total_bit(forward[i+%d]) - total_bit(forward[i])) / 1000000 / ((time(forward[i+%d]) - time(forward[i])) / 1000000) ccdf [%g, %g, %g];",
+		n, n, min, max, step)
+}
+
+// IdleFormula returns the §4.2 idle-time analyzer: the distribution of one
+// ME's per-window idle fraction.
+func IdleFormula(me int) string {
+	return fmt.Sprintf("idle_m%d: idle_frac(m%d_idle[i]) hist [0, 0.5, 0.05];", me, me)
+}
+
+// StandardFormulas bundles the paper's power and throughput analyzers with
+// the ranges used in Figures 6 and 7.
+func StandardFormulas() string {
+	return PowerFormula(100, 0.5, 2.25, 0.01) + "\n" + ThroughputFormula(100, 100, 3300, 10)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+func TestReplicationMoments(t *testing.T) {
+	r := Replication{Values: []float64{1, 2, 3, 4}}
+	if got := r.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := r.StdDev(); math.Abs(got-1.2909944487358056) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !strings.Contains(r.String(), "±") {
+		t.Errorf("String = %q", r.String())
+	}
+	single := Replication{Values: []float64{5}}
+	if single.StdDev() != 0 {
+		t.Error("single-seed sd should be 0")
+	}
+	var empty Replication
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.StdDev()) {
+		t.Error("empty replication moments should be NaN")
+	}
+}
+
+func TestReplicateAcrossSeeds(t *testing.T) {
+	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
+	cfg.Cycles = 500_000
+	res, err := Replicate(cfg, []int64{1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("got %d runs", len(res.Runs))
+	}
+	// Different seeds must actually differ.
+	if res.Runs[0].Stats.EnergyUJ == res.Runs[1].Stats.EnergyUJ {
+		t.Error("seeds 1 and 2 produced identical runs")
+	}
+	if res.PowerW.Mean() < 0.5 || res.PowerW.Mean() > 2.5 {
+		t.Errorf("power mean = %v implausible", res.PowerW.Mean())
+	}
+	// Across-seed variation should be modest at this load.
+	if res.PowerW.StdDev() > 0.3*res.PowerW.Mean() {
+		t.Errorf("power sd %v too large vs mean %v", res.PowerW.StdDev(), res.PowerW.Mean())
+	}
+	if len(res.SentMbps.Values) != 3 || len(res.LossFrac.Values) != 3 {
+		t.Error("metric vectors incomplete")
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelLow)
+	if _, err := Replicate(cfg, nil, 1); err == nil {
+		t.Error("no seeds accepted")
+	}
+	cfg.Packets = []traffic.Packet{{Size: 100}}
+	if _, err := Replicate(cfg, []int64{1}, 1); err == nil {
+		t.Error("fixed schedule accepted")
+	}
+	cfg.Packets = nil
+	cfg.Cycles = 0
+	if _, err := Replicate(cfg, []int64{1}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestReplicateMergedDistributions(t *testing.T) {
+	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
+	cfg.Cycles = 500_000
+	cfg.Formulas = PowerFormula(50, 0.5, 2.25, 0.05)
+	res, err := Replicate(cfg, []int64{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, ok := res.MergedDists["power"]
+	if !ok {
+		t.Fatal("merged distribution missing")
+	}
+	var want uint64
+	for _, r := range res.Runs {
+		lr, _ := r.LOCByName("power")
+		want += lr.Dist.Hist.Total()
+	}
+	if merged.Total() != want {
+		t.Fatalf("merged total = %d, want %d (sum of per-seed totals)", merged.Total(), want)
+	}
+	if want == 0 {
+		t.Fatal("no samples at all")
+	}
+}

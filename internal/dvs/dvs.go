@@ -1,0 +1,364 @@
+// Package dvs implements the two dynamic voltage scaling policies the paper
+// explores on the NPU model, plus the combined policy it declines to build
+// (kept here as an ablation):
+//
+//   - TDVS (traffic-based): the aggregate traffic volume observed at the
+//     device ports over a monitor window is compared against the current
+//     rung of a threshold ladder; the chip-wide ME voltage/frequency steps
+//     down when volume is below the rung and up when above, between
+//     400 MHz/1.1 V and 600 MHz/1.3 V in 50 MHz steps (paper Figure 5).
+//   - EDVS (execution-based): each ME independently compares its idle
+//     fraction over the window against a threshold (10% in the paper);
+//     idler engines step down, busier engines step up.
+//
+// Both policies act through a narrow chip interface and pay the transition
+// penalty the chip model applies (10 µs per VF change). Windows are given in
+// reference-clock cycles, as in the paper ("window size of 20k clock
+// cycles" at 600 MHz).
+package dvs
+
+import (
+	"fmt"
+	"math"
+
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+// Step is one rung of the VF ladder with its TDVS traffic threshold.
+type Step struct {
+	VF            power.VF
+	ThresholdMbps float64
+}
+
+// Ladder is the ordered set of operating points, highest VF first.
+type Ladder struct {
+	Steps []Step
+}
+
+// NewLadder builds the paper's Figure 5 ladder: 600→400 MHz in 50 MHz
+// steps, 1.3→1.1 V in 0.05 V steps (the XScale-style linear mapping), with
+// each rung's traffic threshold scaled by its frequency ratio and truncated
+// to whole Mbps exactly as the paper tabulates (1000 → 916, 833, 750, 666).
+func NewLadder(topThresholdMbps float64) (Ladder, error) {
+	if topThresholdMbps <= 0 {
+		return Ladder{}, fmt.Errorf("dvs: non-positive top threshold %v Mbps", topThresholdMbps)
+	}
+	var l Ladder
+	for mhz := 600.0; mhz >= 400; mhz -= 50 {
+		// Round to whole centivolts so the XScale-style linear mapping
+		// yields the paper's exact 1.10/1.15/1.20/1.25/1.30 V values.
+		volts := math.Round((1.1+(mhz-400)/200*0.2)*100) / 100
+		l.Steps = append(l.Steps, Step{
+			VF:            power.VF{MHz: mhz, Volts: volts},
+			ThresholdMbps: float64(int(topThresholdMbps * mhz / 600)),
+		})
+	}
+	return l, nil
+}
+
+// MustLadder is NewLadder for statically known-good thresholds.
+func MustLadder(top float64) Ladder {
+	l, err := NewLadder(top)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Levels returns the rung count.
+func (l Ladder) Levels() int { return len(l.Steps) }
+
+// Clamp forces a level into range.
+func (l Ladder) Clamp(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= len(l.Steps) {
+		return len(l.Steps) - 1
+	}
+	return level
+}
+
+// String renders the ladder as the paper's Figure 5 table.
+func (l Ladder) String() string {
+	out := "Frequency(MHz)"
+	for _, s := range l.Steps {
+		out += fmt.Sprintf("\t%g", s.VF.MHz)
+	}
+	out += "\nVoltage(V)"
+	for _, s := range l.Steps {
+		out += fmt.Sprintf("\t%g", s.VF.Volts)
+	}
+	out += "\nThreshold(Mbps)"
+	for _, s := range l.Steps {
+		out += fmt.Sprintf("\t%g", s.ThresholdMbps)
+	}
+	return out + "\n"
+}
+
+// Chip is the surface a DVS controller needs from the NPU model. It is
+// satisfied by *npu.Chip.
+type Chip interface {
+	// NumMEs returns the microengine count.
+	NumMEs() int
+	// TrafficBits returns cumulative bits arrived at the device ports.
+	TrafficBits() uint64
+	// MEIdle returns cumulative idle time of one ME, excluding DVS stalls.
+	MEIdle(i int) sim.Time
+	// SetMEVF transitions one ME (stall penalty applies).
+	SetMEVF(i int, vf power.VF)
+	// SetAllVF transitions every ME (stall penalty applies to each).
+	SetAllVF(vf power.VF)
+}
+
+// Stats aggregates a controller's activity for reporting and tests.
+type Stats struct {
+	Windows     uint64
+	Transitions uint64
+	// TimeAtLevel accumulates windows spent at each ladder level
+	// (chip-wide for TDVS; summed over MEs for EDVS).
+	TimeAtLevel []uint64
+}
+
+// TDVS is the traffic-based controller.
+type TDVS struct {
+	ladder Ladder
+	chip   Chip
+	window sim.Time
+	level  int
+	// Hysteresis is an ablation beyond the paper: the volume must leave
+	// the band [th·(1−h), th·(1+h)] to trigger a step. Zero reproduces the
+	// paper's policy.
+	hysteresis float64
+
+	lastBits uint64
+	ticker   *sim.Ticker
+	stats    Stats
+}
+
+// windowDuration converts a window in reference cycles to time.
+func windowDuration(windowCycles int64, refMHz float64) (sim.Time, error) {
+	if windowCycles <= 0 {
+		return 0, fmt.Errorf("dvs: non-positive window %d cycles", windowCycles)
+	}
+	if refMHz <= 0 {
+		return 0, fmt.Errorf("dvs: non-positive reference clock %v MHz", refMHz)
+	}
+	return sim.NewClock(refMHz).Cycles(windowCycles), nil
+}
+
+// NewTDVS attaches a traffic-based controller to the chip: every
+// windowCycles reference cycles it compares the window's offered load
+// against the current ladder rung and steps the chip-wide VF.
+func NewTDVS(k *sim.Kernel, chip Chip, ladder Ladder, windowCycles int64, refMHz float64, hysteresis float64) (*TDVS, error) {
+	w, err := windowDuration(windowCycles, refMHz)
+	if err != nil {
+		return nil, err
+	}
+	if ladder.Levels() == 0 {
+		return nil, fmt.Errorf("dvs: empty ladder")
+	}
+	if hysteresis < 0 || hysteresis >= 1 {
+		return nil, fmt.Errorf("dvs: hysteresis %v outside [0, 1)", hysteresis)
+	}
+	t := &TDVS{ladder: ladder, chip: chip, window: w, hysteresis: hysteresis}
+	t.stats.TimeAtLevel = make([]uint64, ladder.Levels())
+	t.ticker = sim.NewTicker(k, w, t.tick)
+	return t, nil
+}
+
+// Level returns the current ladder level (0 = top VF).
+func (t *TDVS) Level() int { return t.level }
+
+// Stats returns controller statistics.
+func (t *TDVS) Stats() Stats { return t.stats }
+
+// Stop halts the controller.
+func (t *TDVS) Stop() { t.ticker.Stop() }
+
+func (t *TDVS) tick(sim.Time) {
+	bits := t.chip.TrafficBits()
+	delta := bits - t.lastBits
+	t.lastBits = bits
+	mbps := float64(delta) / t.window.Seconds() / 1e6
+	t.stats.Windows++
+	t.stats.TimeAtLevel[t.level]++
+
+	th := t.ladder.Steps[t.level].ThresholdMbps
+	next := t.level
+	switch {
+	case mbps < th*(1-t.hysteresis):
+		next = t.ladder.Clamp(t.level + 1) // scale down
+	case mbps > th*(1+t.hysteresis):
+		next = t.ladder.Clamp(t.level - 1) // scale up
+	}
+	if next != t.level {
+		t.level = next
+		t.stats.Transitions++
+		t.chip.SetAllVF(t.ladder.Steps[next].VF)
+	}
+}
+
+// EDVS is the execution-based controller: per-ME idle-time feedback.
+type EDVS struct {
+	ladder    Ladder
+	chip      Chip
+	window    sim.Time
+	idleFrac  float64
+	levels    []int
+	lastIdle  []sim.Time
+	ticker    *sim.Ticker
+	stats     Stats
+	perMEStat []Stats
+}
+
+// NewEDVS attaches an execution-based controller: every windowCycles
+// reference cycles, each ME whose idle fraction exceeded idleFrac steps
+// down one rung, and each below steps up one rung.
+func NewEDVS(k *sim.Kernel, chip Chip, ladder Ladder, windowCycles int64, refMHz float64, idleFrac float64) (*EDVS, error) {
+	w, err := windowDuration(windowCycles, refMHz)
+	if err != nil {
+		return nil, err
+	}
+	if ladder.Levels() == 0 {
+		return nil, fmt.Errorf("dvs: empty ladder")
+	}
+	if idleFrac <= 0 || idleFrac >= 1 {
+		return nil, fmt.Errorf("dvs: idle threshold %v outside (0, 1)", idleFrac)
+	}
+	e := &EDVS{
+		ladder: ladder, chip: chip, window: w, idleFrac: idleFrac,
+		levels:   make([]int, chip.NumMEs()),
+		lastIdle: make([]sim.Time, chip.NumMEs()),
+	}
+	e.stats.TimeAtLevel = make([]uint64, ladder.Levels())
+	e.perMEStat = make([]Stats, chip.NumMEs())
+	for i := range e.perMEStat {
+		e.perMEStat[i].TimeAtLevel = make([]uint64, ladder.Levels())
+	}
+	e.ticker = sim.NewTicker(k, w, e.tick)
+	return e, nil
+}
+
+// Level returns ME i's current ladder level.
+func (e *EDVS) Level(i int) int { return e.levels[i] }
+
+// Stats returns aggregate controller statistics.
+func (e *EDVS) Stats() Stats { return e.stats }
+
+// MEStats returns per-ME statistics.
+func (e *EDVS) MEStats(i int) Stats { return e.perMEStat[i] }
+
+// Stop halts the controller.
+func (e *EDVS) Stop() { e.ticker.Stop() }
+
+func (e *EDVS) tick(sim.Time) {
+	e.stats.Windows++
+	for i := 0; i < e.chip.NumMEs(); i++ {
+		idle := e.chip.MEIdle(i)
+		frac := float64(idle-e.lastIdle[i]) / float64(e.window)
+		e.lastIdle[i] = idle
+		e.stats.TimeAtLevel[e.levels[i]]++
+		e.perMEStat[i].Windows++
+		e.perMEStat[i].TimeAtLevel[e.levels[i]]++
+
+		next := e.levels[i]
+		switch {
+		case frac > e.idleFrac:
+			next = e.ladder.Clamp(next + 1) // idle engine: scale down
+		case frac < e.idleFrac:
+			next = e.ladder.Clamp(next - 1) // busy engine: scale up
+		}
+		if next != e.levels[i] {
+			e.levels[i] = next
+			e.stats.Transitions++
+			e.perMEStat[i].Transitions++
+			e.chip.SetMEVF(i, e.ladder.Steps[next].VF)
+		}
+	}
+}
+
+// Combined runs both monitors and applies, per ME, the lower of the two
+// operating points (the more aggressive saving). The paper rules this out
+// on area/power-overhead grounds; it is implemented here as an ablation to
+// quantify what that decision leaves on the table.
+type Combined struct {
+	ladder     Ladder
+	chip       Chip
+	window     sim.Time
+	idleFrac   float64
+	tdvsLevel  int
+	edvsLevels []int
+	applied    []int
+	lastBits   uint64
+	lastIdle   []sim.Time
+	ticker     *sim.Ticker
+	stats      Stats
+}
+
+// NewCombined attaches the combined controller.
+func NewCombined(k *sim.Kernel, chip Chip, ladder Ladder, windowCycles int64, refMHz float64, idleFrac float64) (*Combined, error) {
+	w, err := windowDuration(windowCycles, refMHz)
+	if err != nil {
+		return nil, err
+	}
+	if ladder.Levels() == 0 {
+		return nil, fmt.Errorf("dvs: empty ladder")
+	}
+	if idleFrac <= 0 || idleFrac >= 1 {
+		return nil, fmt.Errorf("dvs: idle threshold %v outside (0, 1)", idleFrac)
+	}
+	c := &Combined{
+		ladder: ladder, chip: chip, window: w, idleFrac: idleFrac,
+		edvsLevels: make([]int, chip.NumMEs()),
+		applied:    make([]int, chip.NumMEs()),
+		lastIdle:   make([]sim.Time, chip.NumMEs()),
+	}
+	c.stats.TimeAtLevel = make([]uint64, ladder.Levels())
+	c.ticker = sim.NewTicker(k, w, c.tick)
+	return c, nil
+}
+
+// Stats returns controller statistics.
+func (c *Combined) Stats() Stats { return c.stats }
+
+// Stop halts the controller.
+func (c *Combined) Stop() { c.ticker.Stop() }
+
+func (c *Combined) tick(sim.Time) {
+	c.stats.Windows++
+	// TDVS signal.
+	bits := c.chip.TrafficBits()
+	mbps := float64(bits-c.lastBits) / c.window.Seconds() / 1e6
+	c.lastBits = bits
+	th := c.ladder.Steps[c.tdvsLevel].ThresholdMbps
+	switch {
+	case mbps < th:
+		c.tdvsLevel = c.ladder.Clamp(c.tdvsLevel + 1)
+	case mbps > th:
+		c.tdvsLevel = c.ladder.Clamp(c.tdvsLevel - 1)
+	}
+	// EDVS signal and per-ME application of the lower VF.
+	for i := 0; i < c.chip.NumMEs(); i++ {
+		idle := c.chip.MEIdle(i)
+		frac := float64(idle-c.lastIdle[i]) / float64(c.window)
+		c.lastIdle[i] = idle
+		switch {
+		case frac > c.idleFrac:
+			c.edvsLevels[i] = c.ladder.Clamp(c.edvsLevels[i] + 1)
+		case frac < c.idleFrac:
+			c.edvsLevels[i] = c.ladder.Clamp(c.edvsLevels[i] - 1)
+		}
+		want := c.tdvsLevel
+		if c.edvsLevels[i] > want {
+			want = c.edvsLevels[i]
+		}
+		c.stats.TimeAtLevel[c.applied[i]]++
+		if want != c.applied[i] {
+			c.applied[i] = want
+			c.stats.Transitions++
+			c.chip.SetMEVF(i, c.ladder.Steps[want].VF)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package dvs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+func TestLadderFig5(t *testing.T) {
+	l := MustLadder(1000)
+	if l.Levels() != 5 {
+		t.Fatalf("levels = %d, want 5", l.Levels())
+	}
+	// Paper Figure 5 exactly.
+	wantMHz := []float64{600, 550, 500, 450, 400}
+	wantV := []float64{1.3, 1.25, 1.2, 1.15, 1.1}
+	wantTh := []float64{1000, 916, 833, 750, 666}
+	for k, s := range l.Steps {
+		if s.VF.MHz != wantMHz[k] {
+			t.Errorf("step %d MHz = %v, want %v", k, s.VF.MHz, wantMHz[k])
+		}
+		if diff := s.VF.Volts - wantV[k]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("step %d V = %v, want %v", k, s.VF.Volts, wantV[k])
+		}
+		if s.ThresholdMbps != wantTh[k] {
+			t.Errorf("step %d threshold = %v, want %v", k, s.ThresholdMbps, wantTh[k])
+		}
+	}
+	out := l.String()
+	if !strings.Contains(out, "916") || !strings.Contains(out, "1.15") {
+		t.Errorf("ladder table:\n%s", out)
+	}
+}
+
+func TestLadderErrors(t *testing.T) {
+	if _, err := NewLadder(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewLadder(-10); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+// Property: ladder VF and thresholds are strictly decreasing, and Clamp
+// always lands in range.
+func TestLadderMonotoneProperty(t *testing.T) {
+	f := func(topRaw uint16, lvl int8) bool {
+		top := float64(topRaw%5000) + 600
+		l, err := NewLadder(top)
+		if err != nil {
+			return false
+		}
+		for k := 1; k < l.Levels(); k++ {
+			if l.Steps[k].VF.MHz >= l.Steps[k-1].VF.MHz ||
+				l.Steps[k].VF.Volts >= l.Steps[k-1].VF.Volts ||
+				l.Steps[k].ThresholdMbps >= l.Steps[k-1].ThresholdMbps {
+				return false
+			}
+			if l.Steps[k].VF.PowerScale() >= l.Steps[k-1].VF.PowerScale() {
+				return false
+			}
+		}
+		c := l.Clamp(int(lvl))
+		return c >= 0 && c < l.Levels()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeChip records DVS commands and exposes scripted traffic/idle signals.
+type fakeChip struct {
+	nMEs     int
+	bits     uint64
+	idle     []sim.Time
+	meVF     []power.VF
+	allVF    []power.VF
+	perMESet []int
+}
+
+func newFakeChip(n int) *fakeChip {
+	return &fakeChip{nMEs: n, idle: make([]sim.Time, n), meVF: make([]power.VF, n), perMESet: make([]int, n)}
+}
+
+func (f *fakeChip) NumMEs() int               { return f.nMEs }
+func (f *fakeChip) TrafficBits() uint64       { return f.bits }
+func (f *fakeChip) MEIdle(i int) sim.Time     { return f.idle[i] }
+func (f *fakeChip) SetMEVF(i int, v power.VF) { f.meVF[i] = v; f.perMESet[i]++ }
+func (f *fakeChip) SetAllVF(v power.VF) {
+	f.allVF = append(f.allVF, v)
+	for i := range f.meVF {
+		f.meVF[i] = v
+	}
+}
+
+// addMbps adds traffic corresponding to a rate sustained over a window.
+func (f *fakeChip) addMbps(mbps float64, window sim.Time) {
+	f.bits += uint64(mbps * 1e6 * window.Seconds())
+}
+
+const refMHz = 600
+
+func winDur(cycles int64) sim.Time { return sim.NewClock(refMHz).Cycles(cycles) }
+
+func TestTDVSScalesDownOnLowTraffic(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	td, err := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := winDur(20000)
+	// Sustain 500 Mbps (below every rung) for 6 windows.
+	for win := 0; win < 6; win++ {
+		chip.addMbps(500, w)
+		k.RunUntil(w * sim.Time(win+1))
+	}
+	if td.Level() != 4 {
+		t.Fatalf("level = %d, want 4 (bottom)", td.Level())
+	}
+	// 4 transitions down, then pinned at the bound.
+	if got := td.Stats().Transitions; got != 4 {
+		t.Fatalf("transitions = %d, want 4", got)
+	}
+	if len(chip.allVF) != 4 || chip.allVF[3].MHz != 400 {
+		t.Fatalf("VF commands = %v", chip.allVF)
+	}
+}
+
+func TestTDVSScalesUpOnHighTraffic(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	td, _ := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0)
+	w := winDur(20000)
+	// Down twice at 700 Mbps (below 1000 and 916 but above 833).
+	for win := 0; win < 2; win++ {
+		chip.addMbps(700, w)
+		k.RunUntil(w * sim.Time(win+1))
+	}
+	if td.Level() != 2 {
+		t.Fatalf("after low traffic, level = %d, want 2", td.Level())
+	}
+	// 700 < 833? No: 700 < 833 -> down again. Use 900 to push up.
+	chip.addMbps(900, w)
+	k.RunUntil(w * 3)
+	if td.Level() != 1 {
+		t.Fatalf("after high traffic, level = %d, want 1", td.Level())
+	}
+}
+
+func TestTDVSOscillatesAroundMatchedThreshold(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	td, _ := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0)
+	w := winDur(20000)
+	// 950 Mbps: below 1000 (down), above 916 (up), below 1000 (down)...
+	for win := 0; win < 10; win++ {
+		chip.addMbps(950, w)
+		k.RunUntil(w * sim.Time(win+1))
+	}
+	st := td.Stats()
+	if st.Transitions < 8 {
+		t.Fatalf("transitions = %d, want thrashing (>= 8)", st.Transitions)
+	}
+	if td.Level() > 1 {
+		t.Fatalf("level = %d, should oscillate between 0 and 1", td.Level())
+	}
+}
+
+func TestTDVSHysteresisSuppressesThrash(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	td, _ := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0.10)
+	w := winDur(20000)
+	for win := 0; win < 10; win++ {
+		chip.addMbps(950, w) // within 1000±10%: no action
+		k.RunUntil(w * sim.Time(win+1))
+	}
+	if got := td.Stats().Transitions; got != 0 {
+		t.Fatalf("transitions with hysteresis = %d, want 0", got)
+	}
+}
+
+func TestTDVSErrors(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	if _, err := NewTDVS(&k, chip, MustLadder(1000), 0, refMHz, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewTDVS(&k, chip, MustLadder(1000), 20000, 0, 0); err == nil {
+		t.Error("zero ref clock accepted")
+	}
+	if _, err := NewTDVS(&k, chip, Ladder{}, 20000, refMHz, 0); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 1.5); err == nil {
+		t.Error("bad hysteresis accepted")
+	}
+}
+
+func TestEDVSPerMEIndependence(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(3)
+	ed, err := NewEDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := winDur(20000)
+	// ME0 idles 30% per window (memory bound): scales down.
+	// ME1 idles 2%: stays up (clamped at top).
+	// ME2 idles exactly 10%: no change.
+	for win := 1; win <= 5; win++ {
+		chip.idle[0] += sim.Time(float64(w) * 0.30)
+		chip.idle[1] += sim.Time(float64(w) * 0.02)
+		chip.idle[2] += sim.Time(float64(w) * 0.10)
+		k.RunUntil(w * sim.Time(win))
+	}
+	if ed.Level(0) != 4 {
+		t.Errorf("idle ME level = %d, want 4", ed.Level(0))
+	}
+	if ed.Level(1) != 0 {
+		t.Errorf("busy ME level = %d, want 0", ed.Level(1))
+	}
+	if ed.Level(2) != 0 {
+		t.Errorf("threshold-exact ME level = %d, want 0 (no change)", ed.Level(2))
+	}
+	if chip.perMESet[1] != 0 {
+		t.Errorf("busy ME received %d VF commands, want 0", chip.perMESet[1])
+	}
+	if got := ed.MEStats(0).Transitions; got != 4 {
+		t.Errorf("idle ME transitions = %d, want 4", got)
+	}
+}
+
+func TestEDVSRecovery(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(1)
+	ed, _ := NewEDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0.10)
+	w := winDur(20000)
+	// Two idle windows then two busy windows.
+	for win := 1; win <= 2; win++ {
+		chip.idle[0] += sim.Time(float64(w) * 0.40)
+		k.RunUntil(w * sim.Time(win))
+	}
+	if ed.Level(0) != 2 {
+		t.Fatalf("level after idle = %d, want 2", ed.Level(0))
+	}
+	for win := 3; win <= 4; win++ {
+		// no idle added: frac 0 < 10% -> scale up
+		k.RunUntil(w * sim.Time(win))
+	}
+	if ed.Level(0) != 0 {
+		t.Fatalf("level after busy = %d, want 0", ed.Level(0))
+	}
+}
+
+func TestEDVSErrors(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(2)
+	if _, err := NewEDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0); err == nil {
+		t.Error("zero idle threshold accepted")
+	}
+	if _, err := NewEDVS(&k, chip, MustLadder(1000), 20000, refMHz, 1); err == nil {
+		t.Error("idle threshold 1 accepted")
+	}
+	if _, err := NewEDVS(&k, chip, Ladder{}, 20000, refMHz, 0.1); err == nil {
+		t.Error("empty ladder accepted")
+	}
+}
+
+func TestCombinedTakesLowerVF(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(2)
+	cb, err := NewCombined(&k, chip, MustLadder(1000), 20000, refMHz, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := winDur(20000)
+	// Low traffic (TDVS wants down) and ME1 idle (EDVS wants down more).
+	for win := 1; win <= 3; win++ {
+		chip.addMbps(400, w)
+		chip.idle[1] += sim.Time(float64(w) * 0.5)
+		k.RunUntil(w * sim.Time(win))
+	}
+	// ME0: follows TDVS only (EDVS says up, TDVS says down -> max wins).
+	if chip.meVF[0].MHz >= 600 {
+		t.Errorf("ME0 VF = %v, want scaled down by TDVS", chip.meVF[0])
+	}
+	if chip.meVF[1].MHz > chip.meVF[0].MHz {
+		t.Errorf("ME1 (%v) should be at or below ME0 (%v)", chip.meVF[1], chip.meVF[0])
+	}
+	if cb.Stats().Transitions == 0 {
+		t.Error("no transitions recorded")
+	}
+}
+
+func TestCombinedErrors(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(2)
+	if _, err := NewCombined(&k, chip, MustLadder(1000), -5, refMHz, 0.1); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewCombined(&k, chip, Ladder{}, 20000, refMHz, 0.1); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewCombined(&k, chip, MustLadder(1000), 20000, refMHz, 2); err == nil {
+		t.Error("bad idle threshold accepted")
+	}
+}
+
+func TestStopHaltsTicks(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(1)
+	td, _ := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0)
+	w := winDur(20000)
+	chip.addMbps(100, w)
+	k.RunUntil(w)
+	td.Stop()
+	k.RunUntil(10 * w)
+	if got := td.Stats().Windows; got != 1 {
+		t.Fatalf("windows after Stop = %d, want 1", got)
+	}
+}
+
+func TestTimeAtLevelAccounting(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(1)
+	td, _ := NewTDVS(&k, chip, MustLadder(1000), 20000, refMHz, 0)
+	w := winDur(20000)
+	for win := 1; win <= 8; win++ {
+		chip.addMbps(100, w)
+		k.RunUntil(w * sim.Time(win))
+	}
+	st := td.Stats()
+	var sum uint64
+	for _, v := range st.TimeAtLevel {
+		sum += v
+	}
+	if sum != st.Windows {
+		t.Fatalf("TimeAtLevel sums to %d, windows = %d", sum, st.Windows)
+	}
+	if st.TimeAtLevel[4] == 0 {
+		t.Error("never recorded time at the bottom level despite starvation traffic")
+	}
+}

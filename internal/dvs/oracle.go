@@ -1,0 +1,112 @@
+package dvs
+
+import (
+	"fmt"
+
+	"nepdvs/internal/sim"
+)
+
+// Oracle is an ablation beyond the paper: a traffic-based policy with a
+// perfect one-window-ahead predictor. At each window boundary it jumps the
+// chip directly to the ladder rung matched to the *next* window's actual
+// offered load (precomputed from the packet schedule), paying the normal
+// transition penalty but never mispredicting and never taking multiple
+// windows to walk the ladder. The gap between Oracle and TDVS quantifies
+// how much of TDVS's power/performance loss is monitoring lag versus the
+// unavoidable cost of scaling at all.
+type Oracle struct {
+	ladder  Ladder
+	chip    Chip
+	window  sim.Time
+	volumes []float64 // per-window offered load in Mbps
+	level   int
+	tick    int
+	ticker  *sim.Ticker
+	stats   Stats
+}
+
+// OracleLevel returns the rung a perfect predictor picks for a window
+// volume: the deepest rung such that every shallower rung's threshold
+// exceeds the volume (the fixed point TDVS oscillates around).
+func OracleLevel(l Ladder, volumeMbps float64) int {
+	level := 0
+	for _, s := range l.Steps {
+		if s.ThresholdMbps > volumeMbps {
+			level++
+		}
+	}
+	return l.Clamp(level)
+}
+
+// NewOracle attaches the oracle controller. volumes[k] must hold the
+// offered load of window k (Mbps); windows beyond the slice reuse the last
+// entry. The first window's rung is applied immediately at time zero
+// (penalty-free boot configuration, like loading the microcode).
+func NewOracle(k *sim.Kernel, chip Chip, ladder Ladder, windowCycles int64, refMHz float64, volumes []float64) (*Oracle, error) {
+	w, err := windowDuration(windowCycles, refMHz)
+	if err != nil {
+		return nil, err
+	}
+	if ladder.Levels() == 0 {
+		return nil, fmt.Errorf("dvs: empty ladder")
+	}
+	if len(volumes) == 0 {
+		return nil, fmt.Errorf("dvs: oracle needs at least one window volume")
+	}
+	o := &Oracle{ladder: ladder, chip: chip, window: w, volumes: volumes}
+	o.stats.TimeAtLevel = make([]uint64, ladder.Levels())
+	// Like TDVS, the chip boots at the top rung; the first adjustment
+	// happens at the first window boundary (and pays the normal penalty —
+	// the oracle predicts perfectly but does not transition for free).
+	o.ticker = sim.NewTicker(k, w, o.onWindow)
+	return o, nil
+}
+
+// Level returns the current rung.
+func (o *Oracle) Level() int { return o.level }
+
+// Stats returns controller statistics.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+// Stop halts the controller.
+func (o *Oracle) Stop() { o.ticker.Stop() }
+
+func (o *Oracle) onWindow(sim.Time) {
+	o.stats.Windows++
+	o.stats.TimeAtLevel[o.level]++
+	o.tick++
+	idx := o.tick
+	if idx >= len(o.volumes) {
+		idx = len(o.volumes) - 1
+	}
+	next := OracleLevel(o.ladder, o.volumes[idx])
+	if next != o.level {
+		o.level = next
+		o.stats.Transitions++
+		o.chip.SetAllVF(o.ladder.Steps[next].VF)
+	}
+}
+
+// WindowVolumes computes per-window offered load (Mbps) from packet
+// arrival times and bit counts; it is how core feeds the oracle.
+func WindowVolumes(arrivals []sim.Time, bits []uint64, window sim.Time, total sim.Time) ([]float64, error) {
+	if len(arrivals) != len(bits) {
+		return nil, fmt.Errorf("dvs: %d arrivals vs %d bit counts", len(arrivals), len(bits))
+	}
+	if window <= 0 || total <= 0 {
+		return nil, fmt.Errorf("dvs: non-positive window %v or total %v", window, total)
+	}
+	n := int(total/window) + 1
+	vols := make([]float64, n)
+	for i, at := range arrivals {
+		if at < 0 || at >= total {
+			continue
+		}
+		vols[int(at/window)] += float64(bits[i])
+	}
+	sec := window.Seconds()
+	for i := range vols {
+		vols[i] = vols[i] / sec / 1e6
+	}
+	return vols, nil
+}

@@ -1,0 +1,128 @@
+package dvs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nepdvs/internal/sim"
+)
+
+func TestOracleLevel(t *testing.T) {
+	l := MustLadder(1000) // thresholds 1000, 916, 833, 750, 666
+	cases := []struct {
+		volume float64
+		want   int
+	}{
+		{1200, 0}, // above every threshold: full speed
+		{1000, 0}, // at the top threshold (not strictly below)
+		{950, 1},  // below 1000, above 916
+		{900, 2},
+		{800, 3},
+		{700, 4},
+		{100, 4}, // clamped at the bottom
+	}
+	for _, c := range cases {
+		if got := OracleLevel(l, c.volume); got != c.want {
+			t.Errorf("OracleLevel(%v) = %d, want %d", c.volume, got, c.want)
+		}
+	}
+}
+
+// Property: the oracle level is monotone non-increasing in volume and
+// always within the ladder.
+func TestOracleLevelMonotoneProperty(t *testing.T) {
+	l := MustLadder(1000)
+	f := func(a, b uint16) bool {
+		va, vb := float64(a), float64(b)
+		if va > vb {
+			va, vb = vb, va
+		}
+		la, lb := OracleLevel(l, va), OracleLevel(l, vb)
+		return la >= lb && la >= 0 && la < l.Levels()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleFollowsSchedule(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	w := winDur(20000)
+	// Window volumes: high, high, low, low, high.
+	vols := []float64{1200, 1200, 500, 500, 1200}
+	or, err := NewOracle(&k, chip, MustLadder(1000), 20000, refMHz, vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0 boundary: next window (1) is high -> stay at 0.
+	k.RunUntil(w)
+	if or.Level() != 0 {
+		t.Fatalf("after w0, level = %d", or.Level())
+	}
+	// Window 1 boundary: window 2 is low (500 < all thresholds) -> bottom.
+	k.RunUntil(2 * w)
+	if or.Level() != 4 {
+		t.Fatalf("after w1, level = %d, want 4", or.Level())
+	}
+	// Window 3 boundary: window 4 is high -> straight back to the top in
+	// one jump (no ladder walking).
+	k.RunUntil(4 * w)
+	if or.Level() != 0 {
+		t.Fatalf("after w3, level = %d, want 0", or.Level())
+	}
+	st := or.Stats()
+	if st.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2 (one down-jump, one up-jump)", st.Transitions)
+	}
+	// Past the end of the schedule: the last volume repeats; no panic.
+	k.RunUntil(10 * w)
+	if or.Level() != 0 {
+		t.Fatalf("after schedule end, level = %d", or.Level())
+	}
+	or.Stop()
+}
+
+func TestOracleErrors(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(2)
+	if _, err := NewOracle(&k, chip, MustLadder(1000), 0, refMHz, []float64{1}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewOracle(&k, chip, Ladder{}, 100, refMHz, []float64{1}); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewOracle(&k, chip, MustLadder(1000), 100, refMHz, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestWindowVolumes(t *testing.T) {
+	w := sim.Millisecond
+	arrivals := []sim.Time{0, w / 2, w, 3 * w, 10 * w}
+	bits := []uint64{1e6, 1e6, 2e6, 4e6, 8e6}
+	vols, err := WindowVolumes(arrivals, bits, w, 4*w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vols) != 5 {
+		t.Fatalf("got %d windows", len(vols))
+	}
+	// Window 0: 2e6 bits over 1 ms = 2000 Mbps; window 1: 2000; window 3:
+	// 4000; the arrival at 10·w is outside [0, total) and dropped.
+	want := []float64{2000, 2000, 0, 4000, 0}
+	for i := range want {
+		if diff := vols[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("vols = %v, want %v", vols, want)
+		}
+	}
+	if _, err := WindowVolumes(arrivals, bits[:2], w, 4*w); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WindowVolumes(arrivals, bits, 0, 4*w); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := WindowVolumes(arrivals, bits, w, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"nepdvs/internal/workload"
+)
+
+// Runner produces one or more reports for an experiment ID.
+type Runner func(Options) ([]Report, error)
+
+// Registry maps experiment IDs to their runners. The TDVS-sweep figures
+// (6–9) share one sweep when requested together via RunAll; individually
+// each re-runs the sweep.
+var Registry = map[string]Runner{
+	"fig1": func(Options) ([]Report, error) { return []Report{Fig1()}, nil },
+	"fig2": func(Options) ([]Report, error) {
+		r, err := Fig2()
+		return []Report{r}, err
+	},
+	"fig5": func(Options) ([]Report, error) {
+		r, err := Fig5()
+		return []Report{r}, err
+	},
+	"fig6": sweepFig(Fig6),
+	"fig7": sweepFig(Fig7),
+	"fig8": sweepFig(Fig8),
+	"fig9": sweepFig(Fig9),
+	"fig10": func(o Options) ([]Report, error) {
+		r, err := Fig10(o)
+		return []Report{r}, err
+	},
+	"fig11": func(o Options) ([]Report, error) {
+		r, _, err := Fig11(o)
+		return []Report{r}, err
+	},
+	"idle": func(o Options) ([]Report, error) {
+		r, err := IdleStudy(o)
+		return []Report{r}, err
+	},
+	"ablation-hysteresis": func(o Options) ([]Report, error) {
+		r, err := AblationHysteresis(o)
+		return []Report{r}, err
+	},
+	"ablation-penalty": func(o Options) ([]Report, error) {
+		r, err := AblationPenalty(o)
+		return []Report{r}, err
+	},
+	"ablation-combined": func(o Options) ([]Report, error) {
+		r, err := AblationCombined(o)
+		return []Report{r}, err
+	},
+	"ablation-oracle": func(o Options) ([]Report, error) {
+		r, err := AblationOracle(o)
+		return []Report{r}, err
+	},
+	"summary": func(o Options) ([]Report, error) {
+		r, err := Summary(o)
+		return []Report{r}, err
+	},
+	// The paper ends §4.1 noting its optimal configuration "is specific to
+	// this particular ipfwdr application"; these repeat the full sweep for
+	// the other three benchmarks.
+	"sweep-url": benchSweep(workload.URL),
+	"sweep-nat": benchSweep(workload.NAT),
+	"sweep-md4": benchSweep(workload.MD4),
+}
+
+// benchSweep runs the §4.1 design-space sweep for a non-ipfwdr benchmark
+// and reports its Figures 8/9-style percentile surfaces plus the optimal
+// points.
+func benchSweep(bench workload.Name) Runner {
+	return func(o Options) ([]Report, error) {
+		d, err := RunTDVSSweep(bench, o)
+		if err != nil {
+			return nil, err
+		}
+		p, err := Fig8(d)
+		if err != nil {
+			return nil, err
+		}
+		p.ID = fmt.Sprintf("sweep-%s-power", bench)
+		t, err := Fig9(d)
+		if err != nil {
+			return nil, err
+		}
+		t.ID = fmt.Sprintf("sweep-%s-throughput", bench)
+		return []Report{p, t}, nil
+	}
+}
+
+func sweepFig(view func(*TDVSSweepData) (Report, error)) Runner {
+	return func(o Options) ([]Report, error) {
+		d, err := RunTDVSSweep(workload.IPFwdr, o)
+		if err != nil {
+			return nil, err
+		}
+		r, err := view(d)
+		return []Report{r}, err
+	}
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) ([]Report, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}
+
+// RunAll executes every experiment, sharing the TDVS sweep across
+// Figures 6–9, and returns reports in presentation order.
+func RunAll(o Options) ([]Report, error) {
+	var out []Report
+	add := func(r Report, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+	if err := add(Fig1(), nil); err != nil {
+		return nil, err
+	}
+	if r, err := Fig2(); err != nil {
+		return nil, err
+	} else if err := add(r, nil); err != nil {
+		return nil, err
+	}
+	if r, err := Fig5(); err != nil {
+		return nil, err
+	} else if err := add(r, nil); err != nil {
+		return nil, err
+	}
+	sweep, err := RunTDVSSweep(workload.IPFwdr, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, view := range []func(*TDVSSweepData) (Report, error){Fig6, Fig7, Fig8, Fig9} {
+		r, err := view(sweep)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	for _, f := range []func(Options) (Report, error){Fig10, AblationHysteresis, AblationPenalty, AblationCombined, AblationOracle, IdleStudy} {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	r11, _, err := Fig11(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r11)
+	for _, bench := range []workload.Name{workload.URL, workload.NAT, workload.MD4} {
+		rs, err := benchSweep(bench)(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+	}
+	summary, err := Summary(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, summary)
+	return out, nil
+}

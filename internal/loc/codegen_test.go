@@ -1,0 +1,185 @@
+package loc
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nepdvs/internal/trace"
+)
+
+func TestGenerateGoContainsArtifacts(t *testing.T) {
+	f := MustParse("(energy(forward[i+100]) - energy(forward[i])) / (time(forward[i+100]) - time(forward[i])) cdf [0.5, 2.25, 0.01]")
+	f.Name = "power"
+	src, err := GenerateGo(f, StandardSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package main",
+		"const isDistFormula = true",
+		`distOp = "cdf"`,
+		"perMin, perMax, perStep = 0.5, 2.25, 0.01",
+		`{ann: "energy", event: "forward", rel: true, off: 100}`,
+		"func main()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGenerateGoChecker(t *testing.T) {
+	f := MustParse("cycle(deq[i]) - cycle(enq[i]) <= 50")
+	src, err := GenerateGo(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"const isDistFormula = false", `relOp = "<="`, "var rhsProg"} {
+		if want == "var rhsProg" {
+			if !strings.Contains(src, "rhsProg = []instr{") {
+				t.Errorf("checker source missing rhs program")
+			}
+			continue
+		}
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGenerateGoRejectsBadFormula(t *testing.T) {
+	f := MustParse("watts(x[i]) <= 1")
+	if _, err := GenerateGo(f, StandardSchema()); err == nil {
+		t.Fatal("schema violation not reported")
+	}
+}
+
+// TestGeneratedCheckerRuns builds and runs a generated checker with the Go
+// toolchain, comparing its verdict with the in-process runner on the same
+// trace. Skipped in -short mode (it shells out to `go run`).
+func TestGeneratedCheckerRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("requires go toolchain run")
+	}
+	formula := "cycle(deq[i]) - cycle(enq[i]) <= 50"
+	evs := mkTrace(50, func(k int) uint64 {
+		if k == 7 {
+			return 99
+		}
+		return 30
+	})
+
+	// Write trace to a temp file in text format.
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := trace.NewTextWriter(tf)
+	for i := range evs {
+		if err := tw.Emit(&evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.Close()
+	tf.Close()
+
+	src, err := GenerateGo(MustParse(formula), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainPath := filepath.Join(dir, "checker.go")
+	if err := os.WriteFile(mainPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "run", mainPath, tracePath)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err = cmd.Run()
+	// One violation -> exit code 1.
+	if err == nil {
+		t.Fatalf("generated checker exited 0 on violating trace; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAILED") || !strings.Contains(out.String(), "1 violations") {
+		t.Fatalf("generated checker output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "i=7") {
+		t.Fatalf("generated checker did not identify instance 7:\n%s", out.String())
+	}
+}
+
+// TestGeneratedDistMatchesRunner compares a generated distribution
+// analyzer's table against the in-process runner bin by bin.
+func TestGeneratedDistMatchesRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("requires go toolchain run")
+	}
+	formula := "cycle(forward[i+10]) - cycle(forward[i]) cdf [0, 200, 50]"
+	evs := mkTrace(60, func(k int) uint64 { return uint64(20 + k%3) })
+
+	res := runOne(t, formula, evs)
+	want := res.Dist.Render()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := trace.NewTextWriter(tf)
+	for i := range evs {
+		tw.Emit(&evs[i])
+	}
+	tw.Close()
+	tf.Close()
+
+	src, err := GenerateGo(MustParse(formula), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainPath := filepath.Join(dir, "analyzer.go")
+	if err := os.WriteFile(mainPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", mainPath, tracePath)
+	cmd.Dir = dir
+	outB, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated analyzer failed: %v\n%s", err, outB)
+	}
+	// Compare the numeric rows (skip headers, which differ in wording).
+	gotRows := dataRows(string(outB))
+	wantRows := dataRows(want)
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("row count mismatch: generated %d vs runner %d\ngen:\n%s\nrunner:\n%s",
+			len(gotRows), len(wantRows), outB, want)
+	}
+	for k := range wantRows {
+		if gotRows[k] != wantRows[k] {
+			t.Errorf("row %d: generated %q vs runner %q", k, gotRows[k], wantRows[k])
+		}
+	}
+}
+
+func dataRows(s string) []string {
+	var rows []string
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "formula") {
+			continue
+		}
+		if strings.ContainsRune(line, '\t') {
+			rows = append(rows, line)
+		}
+	}
+	return rows
+}

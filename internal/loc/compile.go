@@ -1,0 +1,198 @@
+package loc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The stack VM. A compiled expression is a flat instruction sequence
+// operating on a float64 stack; the same representation is executed
+// in-process by the runner and embedded into generated standalone checkers
+// by the codegen (which is why it is a first-class, serializable artifact
+// rather than a tree walk).
+
+// OpCode is a VM instruction opcode.
+type OpCode uint8
+
+// VM opcodes. OpRef pushes the value of reference slot Arg (filled by the
+// runner per instance); OpIndex pushes the current instance index.
+const (
+	OpConst OpCode = iota // push Val
+	OpRef                 // push refs[Arg]
+	OpIndex               // push float64(i)
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpNeg
+	OpAbs
+	OpMin
+	OpMax
+)
+
+var opNames = map[OpCode]string{
+	OpConst: "const", OpRef: "ref", OpIndex: "index",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpNeg: "neg",
+	OpAbs: "abs", OpMin: "min", OpMax: "max",
+}
+
+func (o OpCode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpCode(%d)", int(o))
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op  OpCode
+	Arg int     // slot index for OpRef
+	Val float64 // literal for OpConst
+}
+
+// Program is a compiled expression: a straight-line instruction sequence
+// leaving exactly one value on the stack.
+type Program struct {
+	Code     []Instr
+	MaxStack int
+}
+
+// Disasm renders the program for debugging and the generated-checker
+// source comments.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for k, in := range p.Code {
+		switch in.Op {
+		case OpConst:
+			fmt.Fprintf(&b, "%3d  const %g\n", k, in.Val)
+		case OpRef:
+			fmt.Fprintf(&b, "%3d  ref   #%d\n", k, in.Arg)
+		default:
+			fmt.Fprintf(&b, "%3d  %s\n", k, in.Op)
+		}
+	}
+	return b.String()
+}
+
+// Eval executes the program. refs[k] must hold the current value of
+// reference slot k; i is the instance index. The stack slice is scratch
+// space (grown as needed) so hot evaluation loops do not allocate.
+func (p *Program) Eval(refs []float64, i int64, stack []float64) (float64, []float64) {
+	if cap(stack) < p.MaxStack {
+		stack = make([]float64, 0, p.MaxStack)
+	}
+	stack = stack[:0]
+	for _, in := range p.Code {
+		switch in.Op {
+		case OpConst:
+			stack = append(stack, in.Val)
+		case OpRef:
+			stack = append(stack, refs[in.Arg])
+		case OpIndex:
+			stack = append(stack, float64(i))
+		case OpNeg:
+			stack[len(stack)-1] = -stack[len(stack)-1]
+		case OpAbs:
+			if v := stack[len(stack)-1]; v < 0 {
+				stack[len(stack)-1] = -v
+			}
+		default:
+			r := stack[len(stack)-1]
+			l := stack[len(stack)-2]
+			stack = stack[:len(stack)-1]
+			switch in.Op {
+			case OpAdd:
+				stack[len(stack)-1] = l + r
+			case OpSub:
+				stack[len(stack)-1] = l - r
+			case OpMul:
+				stack[len(stack)-1] = l * r
+			case OpDiv:
+				stack[len(stack)-1] = l / r
+			case OpMin:
+				if r < l {
+					stack[len(stack)-1] = r
+				}
+			case OpMax:
+				if r > l {
+					stack[len(stack)-1] = r
+				}
+			}
+		}
+	}
+	return stack[0], stack
+}
+
+// Compiled is a fully compiled formula ready for streaming evaluation.
+type Compiled struct {
+	Analysis *Analysis
+	LHS      *Program
+	RHS      *Program // nil for distribution formulas
+}
+
+// Compile analyzes and compiles a formula, folding constant subexpressions
+// first. schema may be nil (see Analyze).
+func Compile(f *Formula, schema map[string]bool) (*Compiled, error) {
+	a, err := Analyze(f, schema)
+	if err != nil {
+		return nil, err
+	}
+	slots := make(map[Ref]int, len(a.Refs))
+	for k, r := range a.Refs {
+		slots[r] = k
+	}
+	folded := FoldFormula(f)
+	c := &Compiled{Analysis: a}
+	c.LHS = compileExpr(folded.LHS, slots)
+	if f.Kind == KindCheck {
+		c.RHS = compileExpr(folded.RHS, slots)
+	}
+	return c, nil
+}
+
+func compileExpr(e Expr, slots map[Ref]int) *Program {
+	p := &Program{}
+	depth, maxDepth := 0, 0
+	push := func(in Instr, net int) {
+		p.Code = append(p.Code, in)
+		depth += net
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	var emit func(Expr)
+	emit = func(e Expr) {
+		switch n := e.(type) {
+		case *Num:
+			push(Instr{Op: OpConst, Val: n.Value}, 1)
+		case *IndexVar:
+			push(Instr{Op: OpIndex}, 1)
+		case *AnnRef:
+			r := Ref{Ann: n.Ann, Event: n.Event, Index: clearPos(n.Index)}
+			push(Instr{Op: OpRef, Arg: slots[r]}, 1)
+		case *Unary:
+			emit(n.X)
+			push(Instr{Op: OpNeg}, 0)
+		case *Binary:
+			emit(n.L)
+			emit(n.R)
+			op := map[byte]OpCode{'+': OpAdd, '-': OpSub, '*': OpMul, '/': OpDiv}[n.Op]
+			push(Instr{Op: op}, -1)
+		case *Call:
+			for _, a := range n.Args {
+				emit(a)
+			}
+			switch n.Fn {
+			case "abs":
+				push(Instr{Op: OpAbs}, 0)
+			case "min":
+				push(Instr{Op: OpMin}, -1)
+			case "max":
+				push(Instr{Op: OpMax}, -1)
+			}
+		}
+	}
+	emit(e)
+	p.MaxStack = maxDepth
+	return p
+}

@@ -1,0 +1,80 @@
+package loc_test
+
+import (
+	"fmt"
+	"log"
+
+	"nepdvs/internal/loc"
+	"nepdvs/internal/trace"
+)
+
+// ExampleRunFormulas shows the paper's basic flow: specify an assertion,
+// let the generated checker scan the trace, read the verdict.
+func ExampleRunFormulas() {
+	// A trace where every dequeue follows its enqueue within 50 cycles —
+	// except instance 2.
+	var evs []trace.Event
+	for k, lat := range []uint64{10, 30, 99, 40} {
+		evs = append(evs,
+			trace.Event{Name: "enq", Cycle: uint64(100 * k)},
+			trace.Event{Name: "deq", Cycle: uint64(100*k) + lat},
+		)
+	}
+	results, err := loc.RunFormulas(
+		"latency: cycle(deq[i]) - cycle(enq[i]) <= 50",
+		&trace.SliceSource{Events: evs}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := results[0].Check
+	fmt.Printf("passed=%v violations=%d first=%s\n", c.Passed(), c.Total, c.Violations[0])
+	// Output:
+	// passed=false violations=1 first=i=2: lhs=99 rhs=50
+}
+
+// ExampleCompile demonstrates the distribution operators the paper adds to
+// LOC: the same quantity viewed as a histogram or cumulative distribution.
+func ExampleCompile() {
+	f, err := loc.Parse("cycle(forward[i+1]) - cycle(forward[i]) cdf [0, 40, 10]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := loc.Compile(f, loc.StandardSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var evs []trace.Event
+	for _, cyc := range []uint64{0, 10, 20, 40, 80} { // gaps: 10, 10, 20, 40
+		evs = append(evs, trace.Event{Name: "forward", Cycle: cyc})
+	}
+	results, err := loc.Run(&trace.SliceSource{Events: evs}, loc.RunnerOptions{}, compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := results[0].Dist
+	fmt.Printf("instances=%d\n", d.Instances)
+	fmt.Print(d.Render())
+	// Output:
+	// instances=4
+	// # cdf of 4 samples over <0, 40, 10>
+	// 0	0.000000
+	// 10	0.500000
+	// 20	0.750000
+	// 30	0.750000
+	// 40	1.000000
+	// +Inf	1.000000
+}
+
+// ExampleAnalyze shows window inference: how much history the streaming
+// evaluator retains per event.
+func ExampleAnalyze() {
+	f := loc.MustParse("energy(forward[i+100]) - energy(forward[i]) <= 5")
+	a, err := loc.Analyze(f, loc.StandardSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := a.Windows["forward"]
+	fmt.Printf("event=forward span=%d offsets=[%d, %d]\n", w.Span(), w.MinOff, w.MaxOff)
+	// Output:
+	// event=forward span=101 offsets=[0, 100]
+}

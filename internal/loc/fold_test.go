@@ -1,0 +1,109 @@
+package loc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"2 + 3 * 4 <= cycle(e[i])", "14"},
+		{"(10 - 4) / 3 <= cycle(e[i])", "2"},
+		{"-(2 + 3) <= cycle(e[i])", "-5"},
+		{"abs(0 - 7) <= cycle(e[i])", "7"},
+		{"min(3, 8) + max(3, 8) <= cycle(e[i])", "11"},
+		{"cycle(e[i]) + 2 * 3 <= 1", "cycle(e[i]) + 6"},
+	}
+	for _, c := range cases {
+		f := MustParse(c.src)
+		folded := FoldFormula(f)
+		if got := folded.LHS.String(); got != c.want {
+			t.Errorf("Fold(%q) LHS = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFoldPreservesRefs(t *testing.T) {
+	f := MustParse("(energy(e[i+1]) - energy(e[i])) / (1000000 / 1000) <= 5 * 2")
+	folded := FoldFormula(f)
+	a1, err := Analyze(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(folded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Refs) != len(a2.Refs) {
+		t.Fatalf("folding changed ref count: %d -> %d", len(a1.Refs), len(a2.Refs))
+	}
+}
+
+func TestFoldDivisionByZeroConstant(t *testing.T) {
+	f := MustParse("1 / 0 + cycle(e[i]) >= 0")
+	folded := FoldFormula(f)
+	bin, ok := folded.LHS.(*Binary)
+	if !ok {
+		t.Fatalf("LHS = %T", folded.LHS)
+	}
+	n, ok := bin.L.(*Num)
+	if !ok || !math.IsInf(n.Value, 1) {
+		t.Fatalf("1/0 folded to %v, want +Inf", bin.L)
+	}
+}
+
+func TestFoldShrinksPrograms(t *testing.T) {
+	// The throughput formula template has foldable constant divisions.
+	src := "(total_bit(forward[i+100]) - total_bit(forward[i])) / 1000000 / ((time(forward[i+100]) - time(forward[i])) / 1000000) ccdf [100, 3300, 10]"
+	f := MustParse(src)
+	withFold, err := Compile(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-compile without folding for comparison.
+	a, _ := Analyze(f, nil)
+	slots := map[Ref]int{}
+	for k, r := range a.Refs {
+		slots[r] = k
+	}
+	unfolded := compileExpr(f.LHS, slots)
+	if len(withFold.LHS.Code) > len(unfolded.Code) {
+		t.Errorf("folded program larger: %d vs %d", len(withFold.LHS.Code), len(unfolded.Code))
+	}
+}
+
+// Property: folding never changes evaluation results (bit-for-bit,
+// including NaN) on random expressions and random slot values.
+func TestFoldSemanticsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := &Formula{Kind: KindCheck, LHS: randExpr(rng, 5), Rel: OpLE, RHS: &Num{Value: 0}}
+		a, err := Analyze(f, nil)
+		if err != nil {
+			return true // no refs; skip
+		}
+		slots := map[Ref]int{}
+		vals := make([]float64, len(a.Refs))
+		for k, r := range a.Refs {
+			slots[r] = k
+			vals[k] = rng.NormFloat64() * 100
+		}
+		orig := compileExpr(f.LHS, slots)
+		folded := compileExpr(Fold(f.LHS), slots)
+		i := int64(rng.Intn(1000))
+		v1, _ := orig.Eval(vals, i, nil)
+		v2, _ := folded.Eval(vals, i, nil)
+		if math.IsNaN(v1) && math.IsNaN(v2) {
+			return true
+		}
+		return v1 == v2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

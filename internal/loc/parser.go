@@ -1,0 +1,439 @@
+package loc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser with one token of lookahead.
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s %q", k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// Parse parses a single formula from src, with an optional "name:" label.
+// Trailing semicolons are allowed; anything else after the formula is an
+// error.
+func Parse(src string) (*Formula, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.namedFormula()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokSemicolon {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errf(p.tok.Pos, "unexpected %s %q after formula", p.tok.Kind, p.tok.Text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically known-good formulas; it panics on error.
+func MustParse(src string) *Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseFile parses a formula file: semicolon-separated formulas, each with
+// an optional "name:" label, with '#' or '//' comments. Unnamed formulas get
+// generated names f1, f2, ...
+func ParseFile(src string) ([]*Formula, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Formula
+	seen := map[string]Pos{}
+	for p.tok.Kind != TokEOF {
+		f, err := p.namedFormula()
+		if err != nil {
+			return nil, err
+		}
+		if f.Name == "" {
+			f.Name = fmt.Sprintf("f%d", len(out)+1)
+		}
+		if prev, dup := seen[f.Name]; dup {
+			return nil, errf(f.Pos, "duplicate formula name %q (first defined at %s)", f.Name, prev)
+		}
+		seen[f.Name] = f.Pos
+		out = append(out, f)
+		switch p.tok.Kind {
+		case TokSemicolon:
+			for p.tok.Kind == TokSemicolon {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		case TokEOF:
+		default:
+			return nil, errf(p.tok.Pos, "expected ';' between formulas, found %s %q", p.tok.Kind, p.tok.Text)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errf(p.tok.Pos, "no formulas in input")
+	}
+	return out, nil
+}
+
+// namedFormula parses [ident ':'] formula. Distinguishing a label from an
+// expression needs two-token lookahead, which we emulate by checkpointing
+// the lexer state (the lexer is a pure function of its offset).
+func (p *parser) namedFormula() (*Formula, error) {
+	name := ""
+	if p.tok.Kind == TokIdent && p.tok.Text != "i" {
+		// Peek: is the next token a colon?
+		save := *p.lex
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokColon {
+			name = saveTok.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			*p.lex = save
+			p.tok = saveTok
+		}
+	}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	f.Name = name
+	return f, nil
+}
+
+func (p *parser) formula() (*Formula, error) {
+	pos := p.tok.Pos
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokLE, TokLT, TokGE, TokGT, TokEQ, TokNE:
+		rel := map[TokKind]RelOp{
+			TokLE: OpLE, TokLT: OpLT, TokGE: OpGE, TokGT: OpGT, TokEQ: OpEQ, TokNE: OpNE,
+		}[p.tok.Kind]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Kind: KindCheck, LHS: lhs, Rel: rel, RHS: rhs, Pos: pos}, nil
+	case TokIdent:
+		op, ok := ParseDistOp(p.tok.Text)
+		if !ok {
+			return nil, errf(p.tok.Pos, "expected a relational operator or one of hist/cdf/ccdf, found %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		per, err := p.period()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Kind: KindDist, LHS: lhs, Dist: op, Period: per, Pos: pos}, nil
+	}
+	return nil, errf(p.tok.Pos, "expected a relational or distribution operator, found %s %q", p.tok.Kind, p.tok.Text)
+}
+
+func (p *parser) period() (Period, error) {
+	if _, err := p.expect(TokLBracket); err != nil {
+		return Period{}, err
+	}
+	min, err := p.signedNumber()
+	if err != nil {
+		return Period{}, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return Period{}, err
+	}
+	max, err := p.signedNumber()
+	if err != nil {
+		return Period{}, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return Period{}, err
+	}
+	step, err := p.signedNumber()
+	if err != nil {
+		return Period{}, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return Period{}, err
+	}
+	return Period{Min: min, Max: max, Step: step}, nil
+}
+
+func (p *parser) signedNumber() (float64, error) {
+	neg := false
+	if p.tok.Kind == TokMinus {
+		neg = true
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	t, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, errf(t.Pos, "malformed number %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := byte('+')
+		if p.tok.Kind == TokMinus {
+			op = '-'
+		}
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+// term := factor (('*'|'/') factor)*
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash {
+		op := byte('*')
+		if p.tok.Kind == TokSlash {
+			op = '/'
+		}
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+// factor := NUMBER | 'i' | '-' factor | '(' expr ')' | ident '(' ident '[' index ']' ')'
+func (p *parser) factor() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		v, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, errf(p.tok.Pos, "malformed number %q", p.tok.Text)
+		}
+		n := &Num{Value: v, Pos: p.tok.Pos}
+		return n, p.advance()
+	case TokMinus:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -number immediately so String() round-trips cleanly.
+		if n, ok := x.(*Num); ok {
+			return &Num{Value: -n.Value, Pos: pos}, nil
+		}
+		return &Unary{X: x, Pos: pos}, nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		if p.tok.Text == "i" {
+			iv := &IndexVar{Pos: p.tok.Pos}
+			return iv, p.advance()
+		}
+		if _, isBuiltin := builtins[p.tok.Text]; isBuiltin {
+			return p.call()
+		}
+		return p.annRef()
+	}
+	return nil, errf(p.tok.Pos, "expected a number, 'i', '(' or an annotation reference, found %s %q", p.tok.Kind, p.tok.Text)
+}
+
+// call := builtin '(' expr (',' expr)* ')'
+//
+// Built-in names (abs, min, max) shadow annotation names; an annotation
+// with one of these names must be renamed in the trace schema.
+func (p *parser) call() (Expr, error) {
+	fn := p.tok
+	arity := builtins[fn.Text]
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if len(args) != arity {
+		return nil, errf(fn.Pos, "%s takes %d argument(s), got %d", fn.Text, arity, len(args))
+	}
+	return &Call{Fn: fn.Text, Args: args, Pos: fn.Pos}, nil
+}
+
+// annRef := ident '(' ident '[' index ']' ')'
+func (p *parser) annRef() (Expr, error) {
+	ann, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	ev, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if ev.Text == "i" {
+		return nil, errf(ev.Pos, "'i' cannot be used as an event name")
+	}
+	if _, err := p.expect(TokLBracket); err != nil {
+		return nil, err
+	}
+	ix, err := p.index()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return &AnnRef{Ann: ann.Text, Event: ev.Text, Index: ix, Pos: ann.Pos}, nil
+}
+
+// index := 'i' | 'i' ('+'|'-') INT | INT
+//
+// LOC restricts event indices to the index variable plus a constant offset;
+// this is what makes streaming evaluation with a bounded window possible.
+func (p *parser) index() (Index, error) {
+	pos := p.tok.Pos
+	switch {
+	case p.tok.Kind == TokIdent && p.tok.Text == "i":
+		if err := p.advance(); err != nil {
+			return Index{}, err
+		}
+		sign := int64(0)
+		switch p.tok.Kind {
+		case TokPlus:
+			sign = 1
+		case TokMinus:
+			sign = -1
+		default:
+			return Index{Rel: true, Offset: 0, Pos: pos}, nil
+		}
+		if err := p.advance(); err != nil {
+			return Index{}, err
+		}
+		t, err := p.expect(TokNumber)
+		if err != nil {
+			return Index{}, err
+		}
+		off, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return Index{}, errf(t.Pos, "index offset must be a non-negative integer, got %q", t.Text)
+		}
+		return Index{Rel: true, Offset: sign * off, Pos: pos}, nil
+	case p.tok.Kind == TokNumber:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return Index{}, err
+		}
+		k, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return Index{}, errf(t.Pos, "absolute index must be a non-negative integer, got %q", t.Text)
+		}
+		return Index{Rel: false, Offset: k, Pos: pos}, nil
+	case p.tok.Kind == TokIdent:
+		return Index{}, errf(pos, "only the index variable 'i' may appear in an event index, found %q", p.tok.Text)
+	}
+	return Index{}, errf(pos, "expected an event index ('i', 'i+k', 'i-k' or a constant), found %s %q", p.tok.Kind, p.tok.Text)
+}

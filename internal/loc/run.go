@@ -1,0 +1,463 @@
+package loc
+
+import (
+	"fmt"
+	"strings"
+
+	"nepdvs/internal/stats"
+	"nepdvs/internal/trace"
+)
+
+// Violation records one failing instance of a checker formula.
+type Violation struct {
+	Instance int64
+	LHS, RHS float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("i=%d: lhs=%g rhs=%g", v.Instance, v.LHS, v.RHS)
+}
+
+// CheckResult is the outcome of running a checker formula over a trace.
+type CheckResult struct {
+	Instances     int64 // instances evaluated
+	Skipped       int64 // instances skipped because an index was negative
+	Indeterminate int64 // instances where a NaN reached the comparison
+	Total         int64 // total violations
+	Violations    []Violation
+}
+
+// Passed reports whether the assertion held on every evaluated instance.
+func (c *CheckResult) Passed() bool { return c.Total == 0 && c.Indeterminate == 0 }
+
+// DistResult is the outcome of running a distribution formula over a trace.
+type DistResult struct {
+	Op        DistOp
+	Hist      *stats.Histogram
+	Instances int64
+	Skipped   int64
+}
+
+// View returns the distribution in the formula's requested view.
+func (d *DistResult) View() []float64 {
+	switch d.Op {
+	case DistHist:
+		return d.Hist.Fractions()
+	case DistCCDF:
+		return d.Hist.CCDF()
+	default:
+		return d.Hist.CDF()
+	}
+}
+
+// Render writes the distribution as a two-column table.
+func (d *DistResult) Render() string {
+	out, err := d.Hist.Render(d.Op.String())
+	if err != nil {
+		// The op/view mapping is closed; an error here is a bug.
+		panic(err)
+	}
+	return out
+}
+
+// Result is the outcome of one formula.
+type Result struct {
+	Name    string
+	Formula *Formula
+	Check   *CheckResult // non-nil iff Formula.Kind == KindCheck
+	Dist    *DistResult  // non-nil iff Formula.Kind == KindDist
+}
+
+// Summary renders a one-formula report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "formula %s: %s\n", r.Name, r.Formula)
+	if r.Check != nil {
+		c := r.Check
+		status := "PASSED"
+		if !c.Passed() {
+			status = "FAILED"
+		}
+		fmt.Fprintf(&b, "  %s: %d instances evaluated, %d violations, %d indeterminate, %d skipped\n",
+			status, c.Instances, c.Total, c.Indeterminate, c.Skipped)
+		for k, v := range c.Violations {
+			if k >= 10 {
+				fmt.Fprintf(&b, "  ... %d more violations\n", c.Total-int64(k))
+				break
+			}
+			fmt.Fprintf(&b, "  violation %s\n", v)
+		}
+	} else {
+		d := r.Dist
+		fmt.Fprintf(&b, "  %d instances analyzed (%d skipped, %d NaN)\n", d.Instances, d.Skipped, d.Hist.NaNs())
+		b.WriteString(d.Render())
+	}
+	return b.String()
+}
+
+// RunnerOptions tunes runner resource limits.
+type RunnerOptions struct {
+	// MaxViolations bounds the retained violation list (the total is always
+	// counted). Zero means the default of 100.
+	MaxViolations int
+	// MaxWindow bounds the per-event history a formula may force the runner
+	// to retain. A formula such as cycle(a[i]) - cycle(b[i]) <= 5 over a
+	// trace where a outruns b needs unbounded memory; the runner fails
+	// cleanly at this limit instead of exhausting memory. Zero means the
+	// default of 1<<22 instances.
+	MaxWindow int64
+}
+
+func (o RunnerOptions) maxViolations() int {
+	if o.MaxViolations <= 0 {
+		return 100
+	}
+	return o.MaxViolations
+}
+
+func (o RunnerOptions) maxWindow() int64 {
+	if o.MaxWindow <= 0 {
+		return 1 << 22
+	}
+	return o.MaxWindow
+}
+
+// ring is a growable FIFO of per-instance reference-value vectors for one
+// event, indexed by absolute instance number.
+type ring struct {
+	base  int64 // instance number of data[head]
+	head  int
+	count int
+	data  [][]float64
+}
+
+func (r *ring) push(vals []float64) {
+	if r.count == len(r.data) {
+		grown := make([][]float64, max(4, 2*len(r.data)))
+		for k := 0; k < r.count; k++ {
+			grown[k] = r.data[(r.head+k)%len(r.data)]
+		}
+		r.data = grown
+		r.head = 0
+	}
+	r.data[(r.head+r.count)%len(r.data)] = vals
+	r.count++
+}
+
+// get returns the value vector for absolute instance n, which must be
+// retained.
+func (r *ring) get(n int64) []float64 {
+	return r.data[(r.head+int(n-r.base))%len(r.data)]
+}
+
+// trimBelow drops instances < n.
+func (r *ring) trimBelow(n int64) {
+	for r.count > 0 && r.base < n {
+		r.data[r.head] = nil
+		r.head = (r.head + 1) % len(r.data)
+		r.count--
+		r.base++
+	}
+	if r.count == 0 && r.base < n {
+		r.base = n
+	}
+}
+
+// formulaEventState tracks one (formula, event) pair.
+type formulaEventState struct {
+	window *EventWindow
+	// relSlots and relAnns: for each relative ref on this event, the global
+	// slot index and annotation name.
+	relSlots []int
+	relAnns  []string
+	relOffs  []int64
+	// absolute refs: slot, annotation, pinned instance, captured value.
+	absSlots []int
+	absAnns  []string
+	absIdx   []int64
+	absVals  []float64
+	absSeen  []bool
+
+	count int64 // instances of this event seen so far
+	ring  ring
+}
+
+// formulaState is the runtime state of one formula.
+type formulaState struct {
+	name     string
+	compiled *Compiled
+	events   map[string]*formulaEventState
+	next     int64 // next instance index to evaluate
+	refVals  []float64
+	stack    []float64
+	failed   error
+
+	check *CheckResult
+	dist  *DistResult
+	opts  RunnerOptions
+}
+
+// Runner evaluates a set of compiled formulas over a single pass of a trace.
+// It implements trace.Sink so a simulation can feed it live, avoiding trace
+// files entirely — or it can be driven from a trace.Source via Run.
+type Runner struct {
+	formulas []*formulaState
+	// byEvent maps event name -> interested formula states.
+	byEvent map[string][]*formulaState
+	opts    RunnerOptions
+}
+
+// NewRunner prepares a runner for the given compiled formulas. Formula names
+// default to f1, f2, ... when empty.
+func NewRunner(opts RunnerOptions, compiled ...*Compiled) (*Runner, error) {
+	if len(compiled) == 0 {
+		return nil, fmt.Errorf("loc: no formulas to run")
+	}
+	r := &Runner{byEvent: make(map[string][]*formulaState), opts: opts}
+	for k, c := range compiled {
+		f := c.Analysis.Formula
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("f%d", k+1)
+		}
+		st := &formulaState{
+			name:     name,
+			compiled: c,
+			events:   make(map[string]*formulaEventState),
+			refVals:  make([]float64, len(c.Analysis.Refs)),
+			opts:     opts,
+		}
+		if f.Kind == KindCheck {
+			st.check = &CheckResult{}
+		} else {
+			h, err := stats.NewHistogram(f.Period.Min, f.Period.Max, f.Period.Step)
+			if err != nil {
+				return nil, fmt.Errorf("loc: formula %s: %v", name, err)
+			}
+			st.dist = &DistResult{Op: f.Dist, Hist: h}
+		}
+		for ev, w := range c.Analysis.Windows {
+			st.events[ev] = &formulaEventState{window: w}
+		}
+		for slot, ref := range c.Analysis.Refs {
+			es := st.events[ref.Event]
+			if ref.Index.Rel {
+				es.relSlots = append(es.relSlots, slot)
+				es.relAnns = append(es.relAnns, ref.Ann)
+				es.relOffs = append(es.relOffs, ref.Index.Offset)
+			} else {
+				es.absSlots = append(es.absSlots, slot)
+				es.absAnns = append(es.absAnns, ref.Ann)
+				es.absIdx = append(es.absIdx, ref.Index.Offset)
+				es.absVals = append(es.absVals, 0)
+				es.absSeen = append(es.absSeen, false)
+			}
+		}
+		r.formulas = append(r.formulas, st)
+		for ev := range st.events {
+			r.byEvent[ev] = append(r.byEvent[ev], st)
+		}
+	}
+	return r, nil
+}
+
+// Emit implements trace.Sink.
+func (r *Runner) Emit(ev *trace.Event) error {
+	states := r.byEvent[ev.Name]
+	for _, st := range states {
+		if st.failed != nil {
+			continue
+		}
+		if err := st.onEvent(ev); err != nil {
+			st.failed = err
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *formulaState) onEvent(ev *trace.Event) error {
+	es := st.events[ev.Name]
+	n := es.count
+	es.count++
+	// Capture absolute refs.
+	for k, idx := range es.absIdx {
+		if idx == n && !es.absSeen[k] {
+			v, ok := ev.Annotation(es.absAnns[k])
+			if !ok {
+				return fmt.Errorf("loc: formula %s: event %q instance %d has no annotation %q",
+					st.name, ev.Name, n, es.absAnns[k])
+			}
+			es.absVals[k] = v
+			es.absSeen[k] = true
+		}
+	}
+	// Capture relative refs into the ring.
+	if es.window.HasRel {
+		if int64(es.ring.count) >= st.opts.maxWindow() {
+			return fmt.Errorf("loc: formula %s: event %q history exceeds %d instances; "+
+				"the formula requires unbounded memory on this trace", st.name, ev.Name, st.opts.maxWindow())
+		}
+		vals := make([]float64, len(es.relSlots))
+		for k, ann := range es.relAnns {
+			v, ok := ev.Annotation(ann)
+			if !ok {
+				return fmt.Errorf("loc: formula %s: event %q instance %d has no annotation %q",
+					st.name, ev.Name, n, ann)
+			}
+			vals[k] = v
+		}
+		es.ring.push(vals)
+	}
+	return st.drain()
+}
+
+// drain evaluates every instance that has become evaluable.
+func (st *formulaState) drain() error {
+	for {
+		ok, skip := st.ready(st.next)
+		if !ok {
+			return nil
+		}
+		if skip {
+			if st.check != nil {
+				st.check.Skipped++
+			} else {
+				st.dist.Skipped++
+			}
+		} else {
+			st.gather(st.next)
+			st.evalInstance(st.next)
+		}
+		st.next++
+		st.trim()
+	}
+}
+
+// ready reports whether instance i can be evaluated now; skip means the
+// instance is vacuous (some relative index is negative).
+func (st *formulaState) ready(i int64) (ok, skip bool) {
+	skip = false
+	for _, es := range st.events {
+		for k := range es.absIdx {
+			if !es.absSeen[k] {
+				return false, false
+			}
+		}
+		for _, off := range es.relOffs {
+			idx := i + off
+			if idx < 0 {
+				skip = true
+				continue
+			}
+			if idx >= es.count {
+				return false, false
+			}
+		}
+	}
+	return true, skip
+}
+
+func (st *formulaState) gather(i int64) {
+	for _, es := range st.events {
+		for k, slot := range es.absSlots {
+			st.refVals[slot] = es.absVals[k]
+		}
+		for k, slot := range es.relSlots {
+			vals := es.ring.get(i + es.relOffs[k])
+			st.refVals[slot] = vals[k]
+		}
+	}
+}
+
+func (st *formulaState) evalInstance(i int64) {
+	c := st.compiled
+	var lhs float64
+	lhs, st.stack = c.LHS.Eval(st.refVals, i, st.stack)
+	if st.check != nil {
+		var rhs float64
+		rhs, st.stack = c.RHS.Eval(st.refVals, i, st.stack)
+		st.check.Instances++
+		if lhs != lhs || rhs != rhs { // NaN
+			st.check.Indeterminate++
+			return
+		}
+		if !st.compiled.Analysis.Formula.Rel.Holds(lhs, rhs) {
+			st.check.Total++
+			if len(st.check.Violations) < st.opts.maxViolations() {
+				st.check.Violations = append(st.check.Violations, Violation{Instance: i, LHS: lhs, RHS: rhs})
+			}
+		}
+		return
+	}
+	st.dist.Instances++
+	st.dist.Hist.Add(lhs)
+}
+
+// trim drops history no future instance can reference.
+func (st *formulaState) trim() {
+	for _, es := range st.events {
+		if es.window.HasRel {
+			es.ring.trimBelow(st.next + es.window.MinOff)
+		}
+	}
+}
+
+// Results returns the per-formula outcomes. The first formula that failed
+// with a runtime error (missing annotation, window overflow) is reported as
+// the error.
+func (r *Runner) Results() ([]Result, error) {
+	out := make([]Result, 0, len(r.formulas))
+	for _, st := range r.formulas {
+		if st.failed != nil {
+			return nil, st.failed
+		}
+		out = append(out, Result{
+			Name:    st.name,
+			Formula: st.compiled.Analysis.Formula,
+			Check:   st.check,
+			Dist:    st.dist,
+		})
+	}
+	return out, nil
+}
+
+// Run drives a trace source to exhaustion through a new runner and returns
+// the per-formula results.
+func Run(src trace.Source, opts RunnerOptions, compiled ...*Compiled) ([]Result, error) {
+	r, err := NewRunner(opts, compiled...)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ev, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := r.Emit(&ev); err != nil {
+			return nil, err
+		}
+	}
+	return r.Results()
+}
+
+// RunFormulas parses, compiles and runs formula source text against a trace
+// source — the one-call "generate the analyzer from the assertion" flow.
+func RunFormulas(formulaSrc string, src trace.Source, schema map[string]bool) ([]Result, error) {
+	fs, err := ParseFile(formulaSrc)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*Compiled, len(fs))
+	for k, f := range fs {
+		c, err := Compile(f, schema)
+		if err != nil {
+			return nil, err
+		}
+		compiled[k] = c
+	}
+	return Run(src, RunnerOptions{}, compiled...)
+}

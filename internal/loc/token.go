@@ -1,0 +1,271 @@
+// Package loc implements the Logic of Constraints (LOC) assertion language
+// used by the paper for trace checking and quantitative distribution
+// analysis, following Chen et al. (DAC 2003, DATE 2004) as extended by the
+// paper with three distribution operators.
+//
+// An LOC formula relates annotations of event instances drawn from a
+// simulation trace, indexed by the single index variable i:
+//
+//	cycle(deq[i]) - cycle(enq[i]) <= 50;
+//
+// is the paper's latency example: every dequeue happens within 50 cycles of
+// the corresponding enqueue. The paper's extension replaces the relational
+// operator with a distribution operator and an analysis period
+// <min, max, step> (written here with brackets):
+//
+//	(energy(forward[i+100]) - energy(forward[i])) /
+//	(time(forward[i+100]) - time(forward[i]))  cdf [0.5, 2.25, 0.01];
+//
+// generates an analyzer reporting the fraction of formula instances whose
+// value falls below each bin edge — the paper's formula (2), the
+// per-100-packet power distribution. The three operators are:
+//
+//	hist  — the paper's ↑ operator: normalized count per bin
+//	cdf   — the paper's ≤ operator: cumulative fraction ≤ each edge
+//	ccdf  — the paper's ≥ operator: cumulative fraction ≥ each edge
+//
+// Formulas compile to a small stack-VM program evaluated in streaming
+// fashion over a trace with automatically inferred O(window) memory — no
+// hand-written reference model or script is required, which is the paper's
+// methodological point.
+package loc
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokPlus      // +
+	TokMinus     // -
+	TokStar      // *
+	TokSlash     // /
+	TokLParen    // (
+	TokRParen    // )
+	TokLBracket  // [
+	TokRBracket  // ]
+	TokComma     // ,
+	TokSemicolon // ;
+	TokColon     // :
+	TokLE        // <=
+	TokLT        // <
+	TokGE        // >=
+	TokGT        // >
+	TokEQ        // ==
+	TokNE        // !=
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokNumber: "number",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokLParen: "'('", TokRParen: "')'", TokLBracket: "'['", TokRBracket: "']'",
+	TokComma: "','", TokSemicolon: "';'", TokColon: "':'",
+	TokLE: "'<='", TokLT: "'<'", TokGE: "'>='", TokGT: "'>'", TokEQ: "'=='", TokNE: "'!='",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned LOC front-end error (lexing, parsing or semantic).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("loc: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns formula source into tokens. Newlines are whitespace; '#' and
+// '//' start line comments.
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.off], Pos: pos}, nil
+	case isDigit(c) || c == '.':
+		start := l.off
+		seenDot, seenExp := false, false
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case isDigit(c):
+				l.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !seenExp && l.off > start:
+				seenExp = true
+				l.advance()
+				if l.off < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+					l.advance()
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		text := l.src[start:l.off]
+		if text == "." {
+			return Token{}, errf(pos, "malformed number %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Pos: pos}, nil
+	}
+	l.advance()
+	two := func(k TokKind, text string) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	switch c {
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemicolon, Text: ";", Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Text: ":", Pos: pos}, nil
+	case '<':
+		if l.peekByte() == '=' {
+			return two(TokLE, "<=")
+		}
+		return Token{Kind: TokLT, Text: "<", Pos: pos}, nil
+	case '>':
+		if l.peekByte() == '=' {
+			return two(TokGE, ">=")
+		}
+		return Token{Kind: TokGT, Text: ">", Pos: pos}, nil
+	case '=':
+		if l.peekByte() == '=' {
+			return two(TokEQ, "==")
+		}
+		return Token{}, errf(pos, "unexpected '=' (use '==' for equality)")
+	case '!':
+		if l.peekByte() == '=' {
+			return two(TokNE, "!=")
+		}
+		return Token{}, errf(pos, "unexpected '!' (use '!=' for inequality)")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input; used by tests and the parser.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package npu
+
+// Per-packet workload characterization: run exactly one packet of a known
+// size through each benchmark and pin the memory-reference counts the §3.1
+// descriptions imply. This is what keeps the benchmarks from silently
+// drifting away from the paper's memory/compute mix during refactors.
+
+import (
+	"testing"
+
+	"nepdvs/internal/sim"
+	"nepdvs/internal/trace"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+// onePacketRun processes a single packet of the given size and returns the
+// SDRAM/SRAM reference counts attributable to it (poll loops issue no
+// memory references, so the delta is exactly the packet's cost).
+func onePacketRun(t *testing.T, bench workload.Name, size int) (sdramReqs, sramReqs uint64, instr uint64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	progs, err := workload.Programs(bench, workload.DefaultParams(), cfg.NumMEs, cfg.RxMEs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &sim.Kernel{}
+	var col trace.Collector
+	chip, err := New(cfg, k, progs, &col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.Inject([]traffic.Packet{{ID: 0, Arrival: sim.Microsecond, Size: size, Port: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * sim.Millisecond)
+	st := chip.Snapshot()
+	if st.PktsSent != 1 {
+		t.Fatalf("%s: packet not forwarded (sent=%d dropped=%d)", bench, st.PktsSent, st.PktsDropped)
+	}
+	sd, _, _ := chip.sdram.stats()
+	sr, _, _ := chip.sram.stats()
+	var totalInstr uint64
+	for _, n := range st.MEInstr {
+		totalInstr += n
+	}
+	return sd, sr, totalInstr
+}
+
+func TestNatPerPacketCost(t *testing.T) {
+	// nat: one header-mpacket store plus exactly one SRAM lookup,
+	// regardless of packet size.
+	for _, size := range []int{40, 576, 1500} {
+		sdram, sram, _ := onePacketRun(t, workload.NAT, size)
+		if sdram != 1 {
+			t.Errorf("nat size %d: %d SDRAM refs, want 1", size, sdram)
+		}
+		if sram != 1 {
+			t.Errorf("nat size %d: %d SRAM refs, want 1", size, sram)
+		}
+	}
+}
+
+func TestIPFwdrPerPacketCost(t *testing.T) {
+	p := workload.DefaultParams()
+	for _, size := range []int{40, 576, 1500} {
+		mpkts := uint64(size>>6) + 1
+		sdram, sram, _ := onePacketRun(t, workload.IPFwdr, size)
+		// Reassembly moves + header read + port info + writeback.
+		want := mpkts + 3
+		if sdram != want {
+			t.Errorf("ipfwdr size %d: %d SDRAM refs, want %d", size, sdram, want)
+		}
+		if sram != uint64(p.IPFwdrTrieSteps) {
+			t.Errorf("ipfwdr size %d: %d SRAM refs, want %d", size, sram, p.IPFwdrTrieSteps)
+		}
+	}
+}
+
+func TestURLPerPacketCost(t *testing.T) {
+	p := workload.DefaultParams()
+	for _, size := range []int{40, 576, 1500} {
+		mpkts := uint64(size>>6) + 1
+		chunks := uint64(size>>p.URLChunkShift) + 1
+		sdram, sram, _ := onePacketRun(t, workload.URL, size)
+		// Moves plus one payload read per chunk.
+		if want := mpkts + chunks; sdram != want {
+			t.Errorf("url size %d: %d SDRAM refs, want %d", size, sdram, want)
+		}
+		// One pattern probe per chunk.
+		if sram != chunks {
+			t.Errorf("url size %d: %d SRAM refs, want %d", size, sram, chunks)
+		}
+	}
+}
+
+func TestMD4PerPacketCost(t *testing.T) {
+	p := workload.DefaultParams()
+	for _, size := range []int{40, 576, 1500} {
+		mpkts := uint64(size>>6) + 1
+		blocks := uint64(size>>p.MD4BlockShift) + 1
+		sdram, sram, _ := onePacketRun(t, workload.MD4, size)
+		if want := mpkts + blocks; sdram != want {
+			t.Errorf("md4 size %d: %d SDRAM refs, want %d", size, sdram, want)
+		}
+		// One staging write plus one re-read per block.
+		if want := 2 * blocks; sram != want {
+			t.Errorf("md4 size %d: %d SRAM refs, want %d", size, sram, want)
+		}
+	}
+}
+
+// TestRelativeComputeIntensity pins the §3.1 ordering: the payload-scanning
+// benchmarks (url, md4) issue more memory references per packet than plain
+// forwarding (ipfwdr), which in turn dwarfs nat.
+func TestRelativeComputeIntensity(t *testing.T) {
+	const size = 576
+	type cost struct{ sdram, sram uint64 }
+	costs := map[workload.Name]cost{}
+	for _, b := range workload.All {
+		sd, sr, _ := onePacketRun(t, b, size)
+		costs[b] = cost{sd, sr}
+	}
+	mem := func(b workload.Name) uint64 { return costs[b].sdram + costs[b].sram }
+	if !(mem(workload.URL) > mem(workload.IPFwdr) &&
+		mem(workload.MD4) > mem(workload.IPFwdr) &&
+		mem(workload.IPFwdr) > mem(workload.NAT)) {
+		t.Errorf("memory-intensity ordering violated: %v", costs)
+	}
+	// nat must be the compute-only outlier: a single lookup plus the
+	// header store.
+	if costs[workload.NAT].sdram+costs[workload.NAT].sram != 2 {
+		t.Errorf("nat per-packet refs = %v, want exactly 2", costs[workload.NAT])
+	}
+}

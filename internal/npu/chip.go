@@ -1,0 +1,495 @@
+package npu
+
+import (
+	"fmt"
+
+	"nepdvs/internal/isa"
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+	"nepdvs/internal/trace"
+	"nepdvs/internal/traffic"
+)
+
+// pktState tracks a packet through the chip.
+type pktState uint8
+
+const (
+	pktArriving pktState = iota
+	pktQueued
+	pktProcessing
+	pktSent
+	pktDropped
+)
+
+// pktDesc is the descriptor table entry for one packet.
+type pktDesc struct {
+	pkt    traffic.Packet
+	state  pktState
+	egress int
+}
+
+// Chip is the assembled NPU model. Build with New, load packet arrivals
+// with Inject, then drive the kernel.
+type Chip struct {
+	cfg   Config
+	k     *sim.Kernel
+	meter *power.Meter
+	ref   sim.Clock
+
+	sram    *memController
+	sdram   *memController
+	sdramTm *sdramTiming
+
+	mes []*ME
+
+	scratch map[int64]int64
+
+	// packet path
+	pkts     []pktDesc
+	rfifo    []int64
+	txRing   []int64
+	busFree  sim.Time
+	portFree []sim.Time
+	// tfifoUsed counts occupied TFIFO slots per egress port; waiters queue
+	// contexts blocked on a full TFIFO.
+	tfifoUsed []int
+	waiters   [][]func()
+
+	// trace
+	sink           trace.Sink
+	sinkErr        error
+	lastBaseUpdate sim.Time
+	idleTicker     *sim.Ticker
+	lastIdleSample []sim.Time
+
+	// counters
+	bitsArrived   uint64
+	pktsArrived   uint64
+	pktsQueued    uint64
+	pktsDropped   uint64
+	pktsSent      uint64
+	bitsSent      uint64
+	fifoHighWater int
+}
+
+// New builds a chip. programs must have one entry per ME: indices
+// [0, RxMEs) run the receive/processing code, the rest the transmit code.
+// sink receives trace events (nil for no trace).
+func New(cfg Config, k *sim.Kernel, programs []*isa.Program, sink trace.Sink) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) != cfg.NumMEs {
+		return nil, fmt.Errorf("npu: %d programs for %d MEs", len(programs), cfg.NumMEs)
+	}
+	for i, p := range programs {
+		if p == nil || len(p.Code) == 0 {
+			return nil, fmt.Errorf("npu: ME%d has no program", i)
+		}
+	}
+	meter, err := power.NewMeter(cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+	if sink == nil {
+		sink = trace.DiscardSink{}
+	}
+	c := &Chip{
+		cfg:       cfg,
+		k:         k,
+		meter:     meter,
+		ref:       sim.NewClock(cfg.RefMHz),
+		scratch:   make(map[int64]int64),
+		portFree:  make([]sim.Time, cfg.Ports),
+		tfifoUsed: make([]int, cfg.Ports),
+		waiters:   make([][]func(), cfg.Ports),
+		sink:      sink,
+	}
+	sramPipe := sim.Time(cfg.SramPipeNs * float64(sim.Nanosecond))
+	sramWord := sim.Time(cfg.SramWordNs * float64(sim.Nanosecond))
+	c.sram = newMemController(k, "sram", func(r memRequest) sim.Time {
+		return sramPipe + sim.Time(r.words)*sramWord
+	})
+	c.sdramTm = newSdramTiming(cfg.SdramBanks, cfg.SdramRowNs, cfg.SdramWordNs)
+	c.sdram = newMemController(k, "sdram", c.sdramTm.serviceTime)
+	for i := 0; i < cfg.NumMEs; i++ {
+		c.mes = append(c.mes, newME(c, i, programs[i], cfg.MEVF))
+	}
+	if cfg.IdleSampleWindow > 0 {
+		c.lastIdleSample = make([]sim.Time, cfg.NumMEs)
+		c.idleTicker = sim.NewTicker(k, cfg.IdleSampleWindow, c.sampleIdle)
+	}
+	// Boot: the StrongARM core has loaded the control stores; enable MEs.
+	for _, me := range c.mes {
+		me.scheduleStep(0)
+	}
+	return c, nil
+}
+
+// Kernel returns the simulation kernel driving the chip.
+func (c *Chip) Kernel() *sim.Kernel { return c.k }
+
+// Meter returns the power meter.
+func (c *Chip) Meter() *power.Meter { return c.meter }
+
+// ME returns microengine i.
+func (c *Chip) ME(i int) *ME { return c.mes[i] }
+
+// SinkErr reports the first trace-sink failure, if any.
+func (c *Chip) SinkErr() error { return c.sinkErr }
+
+// Inject schedules the arrival of a packet stream at the device ports.
+func (c *Chip) Inject(pkts []traffic.Packet) error {
+	for _, p := range pkts {
+		if p.Port < 0 || p.Port >= c.cfg.Ports {
+			return fmt.Errorf("npu: packet %d on port %d, chip has %d ports", p.ID, p.Port, c.cfg.Ports)
+		}
+		p := p
+		c.k.Schedule(p.Arrival, func() { c.portArrive(p) })
+	}
+	return nil
+}
+
+// portArrive is the media-side arrival: the traffic monitor sees the packet
+// here, then the IX bus moves it into the RFIFO.
+func (c *Chip) portArrive(p traffic.Packet) {
+	c.bitsArrived += p.Bits()
+	c.pktsArrived++
+	if c.cfg.MonitorOverhead {
+		c.meter.Monitor()
+	}
+	handle := int64(len(c.pkts))
+	c.pkts = append(c.pkts, pktDesc{pkt: p, state: pktArriving, egress: (p.Port + c.cfg.Ports/2) % c.cfg.Ports})
+	// IX bus serialization: one packet transfer at a time.
+	xfer := c.busTime(p.Size)
+	start := c.k.Now()
+	if c.busFree > start {
+		start = c.busFree
+	}
+	c.busFree = start + xfer
+	c.k.Schedule(c.busFree, func() { c.rfifoPush(handle) })
+}
+
+func (c *Chip) busTime(bytes int) sim.Time {
+	bits := float64(bytes * 8)
+	sec := bits / (c.cfg.BusGbps * 1e9)
+	t := sim.Time(sec * float64(sim.Second))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (c *Chip) rfifoPush(handle int64) {
+	d := &c.pkts[handle]
+	if len(c.rfifo) >= c.cfg.RFIFODepth {
+		d.state = pktDropped
+		c.pktsDropped++
+		c.emit(trace.EvDrop, c.pktsArrived, c.bitsArrived, nil)
+		return
+	}
+	d.state = pktQueued
+	c.rfifo = append(c.rfifo, handle)
+	if len(c.rfifo) > c.fifoHighWater {
+		c.fifoHighWater = len(c.rfifo)
+	}
+	c.pktsQueued++
+	c.emit(trace.EvFifo, c.pktsQueued, c.bitsArrived, nil)
+}
+
+// rfifoPop is the rx.pop instruction: non-blocking, -1 when empty.
+func (c *Chip) rfifoPop() int64 {
+	if len(c.rfifo) == 0 {
+		return -1
+	}
+	h := c.rfifo[0]
+	c.rfifo = c.rfifo[1:]
+	c.pkts[h].state = pktProcessing
+	return h
+}
+
+// txRingPush is the tx.push instruction; reports success.
+func (c *Chip) txRingPush(handle int64) bool {
+	if len(c.txRing) >= c.cfg.TxRingDepth {
+		return false
+	}
+	c.txRing = append(c.txRing, handle)
+	return true
+}
+
+// txRingPop is the tx.pop instruction: -1 when empty.
+func (c *Chip) txRingPop() int64 {
+	if len(c.txRing) == 0 {
+		return -1
+	}
+	h := c.txRing[0]
+	c.txRing = c.txRing[1:]
+	return h
+}
+
+// pktField implements the pkt.f instruction.
+func (c *Chip) pktField(handle int64, f isa.PktField, me, pc int) int64 {
+	if handle < 0 || handle >= int64(len(c.pkts)) {
+		panic(fmt.Sprintf("npu: me%d pc%d: pkt.f on invalid handle %d", me, pc, handle))
+	}
+	p := &c.pkts[handle].pkt
+	switch f {
+	case isa.FieldSize:
+		return int64(p.Size)
+	case isa.FieldPort:
+		return int64(p.Port)
+	case isa.FieldID:
+		return int64(p.ID)
+	}
+	panic(fmt.Sprintf("npu: me%d pc%d: unknown packet field %d", me, pc, int64(f)))
+}
+
+// sendPacket implements the send instruction: claim a TFIFO slot on the
+// egress port (or wait), transmit, emit the forward event, release.
+func (c *Chip) sendPacket(handle int64, me int, granted func()) {
+	if handle < 0 || handle >= int64(len(c.pkts)) {
+		panic(fmt.Sprintf("npu: me%d: send of invalid handle %d", me, handle))
+	}
+	d := &c.pkts[handle]
+	port := d.egress
+	attempt := func() {
+		c.tfifoUsed[port]++
+		c.startTransmit(handle, port)
+		granted()
+	}
+	if c.tfifoUsed[port] < c.cfg.TFIFODepth {
+		attempt()
+		return
+	}
+	c.waiters[port] = append(c.waiters[port], attempt)
+}
+
+func (c *Chip) startTransmit(handle int64, port int) {
+	d := &c.pkts[handle]
+	bits := float64(d.pkt.Bits())
+	wire := sim.Time(bits / (c.cfg.PortMbps * 1e6) * float64(sim.Second))
+	start := c.k.Now()
+	if c.portFree[port] > start {
+		start = c.portFree[port]
+	}
+	done := start + wire
+	c.portFree[port] = done
+	c.k.Schedule(done, func() {
+		d.state = pktSent
+		c.pktsSent++
+		c.bitsSent += d.pkt.Bits()
+		c.emit(trace.EvForward, c.pktsSent, c.bitsSent, nil)
+		c.tfifoUsed[port]--
+		if len(c.waiters[port]) > 0 {
+			w := c.waiters[port][0]
+			c.waiters[port] = c.waiters[port][1:]
+			w()
+		}
+	})
+}
+
+// scratch memory and fixed-latency units.
+
+func (c *Chip) scratchRead(addr int64) int64 { return c.scratch[addr] }
+func (c *Chip) scratchWrite(addr, v int64)   { c.scratch[addr] = v }
+func (c *Chip) scratchDelay() sim.Time {
+	return sim.Time(c.cfg.ScratchNs * float64(sim.Nanosecond))
+}
+func (c *Chip) csrDelay() sim.Time { return sim.Time(c.cfg.CsrNs * float64(sim.Nanosecond)) }
+
+func (c *Chip) chargeMem(unit memUnit, words int64) {
+	switch unit {
+	case sramUnit:
+		c.meter.Sram(words)
+	case sdramUnit:
+		c.meter.Sdram(words)
+	case scratchUnit:
+		c.meter.Scratch(words)
+	}
+}
+
+// --- DVS target surface -------------------------------------------------
+
+// NumMEs returns the microengine count.
+func (c *Chip) NumMEs() int { return len(c.mes) }
+
+// TrafficBits returns cumulative bits observed arriving at the device
+// ports — the TDVS monitor input.
+func (c *Chip) TrafficBits() uint64 { return c.bitsArrived }
+
+// MEIdle returns cumulative idle time of microengine i (excluding DVS
+// stalls) — the EDVS monitor input.
+func (c *Chip) MEIdle(i int) sim.Time { return c.mes[i].IdleTime() }
+
+// MEVF returns the operating point of microengine i.
+func (c *Chip) MEVF(i int) power.VF { return c.mes[i].VF() }
+
+// SetMEVF transitions one microengine, applying the stall penalty.
+func (c *Chip) SetMEVF(i int, vf power.VF) { c.mes[i].setVF(vf) }
+
+// SetAllVF transitions every microengine, applying the stall penalty to
+// each (chip-wide TDVS).
+func (c *Chip) SetAllVF(vf power.VF) {
+	for _, me := range c.mes {
+		me.setVF(vf)
+	}
+}
+
+// --- trace emission ------------------------------------------------------
+
+// annotate fills the standard annotations at the current time.
+func (c *Chip) annotate(ev *trace.Event, totalPkt, totalBit uint64) {
+	now := c.k.Now()
+	// Base power accrues lazily so that energy snapshots are exact at
+	// every event.
+	if now > c.lastBaseUpdate {
+		c.meter.Base((now - c.lastBaseUpdate).Micros())
+		c.lastBaseUpdate = now
+	}
+	ev.Cycle = uint64(c.ref.CyclesIn(now))
+	ev.Time = now.Micros()
+	ev.Energy = c.meter.Total()
+	ev.TotalPkt = totalPkt
+	ev.TotalBit = totalBit
+}
+
+func (c *Chip) emit(name string, totalPkt, totalBit uint64, extra map[string]float64) {
+	if c.sinkErr != nil {
+		return
+	}
+	ev := trace.Event{Name: name, Extra: extra}
+	c.annotate(&ev, totalPkt, totalBit)
+	if err := c.sink.Emit(&ev); err != nil {
+		c.sinkErr = err
+	}
+}
+
+func (c *Chip) emitVFChange(me int, vf power.VF) {
+	if c.sinkErr != nil {
+		return
+	}
+	ev := trace.Event{Name: trace.MEEvent(me, trace.EvVFChange)}
+	c.annotate(&ev, c.pktsSent, c.bitsSent)
+	ev.SetExtra("mhz", vf.MHz)
+	ev.SetExtra("volts", vf.Volts)
+	if err := c.sink.Emit(&ev); err != nil {
+		c.sinkErr = err
+	}
+}
+
+func (c *Chip) emitPipeline(me int, instrs int64) {
+	if !c.cfg.EmitPipeline || c.sinkErr != nil {
+		return
+	}
+	ev := trace.Event{Name: trace.MEEvent(me, trace.EvPipeline)}
+	c.annotate(&ev, c.pktsSent, c.bitsSent)
+	ev.SetExtra("instrs", float64(instrs))
+	if err := c.sink.Emit(&ev); err != nil {
+		c.sinkErr = err
+	}
+}
+
+// sampleIdle emits the per-ME idle-fraction events for the §4.2 study.
+func (c *Chip) sampleIdle(at sim.Time) {
+	for i, me := range c.mes {
+		idle := me.IdleTime()
+		frac := float64(idle-c.lastIdleSample[i]) / float64(c.cfg.IdleSampleWindow)
+		c.lastIdleSample[i] = idle
+		if c.sinkErr != nil {
+			return
+		}
+		ev := trace.Event{Name: trace.MEEvent(i, trace.EvIdle)}
+		c.annotate(&ev, c.pktsSent, c.bitsSent)
+		ev.SetExtra("idle_frac", frac)
+		if err := c.sink.Emit(&ev); err != nil {
+			c.sinkErr = err
+		}
+	}
+}
+
+// --- results -------------------------------------------------------------
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Now           sim.Time
+	PktsArrived   uint64
+	PktsQueued    uint64
+	PktsDropped   uint64
+	PktsSent      uint64
+	BitsArrived   uint64
+	BitsSent      uint64
+	EnergyUJ      float64
+	AvgPowerW     float64
+	FifoHighWater int
+	MEIdleFrac    []float64
+	MEStallFrac   []float64
+	MEBusyFrac    []float64
+	MEInstr       []uint64
+	MEMemRefs     []uint64
+	MEVFChanges   []uint64
+	SdramRowHits  uint64
+	SdramRowMiss  uint64
+}
+
+// SentMbps returns measured forwarding throughput.
+func (s Stats) SentMbps() float64 {
+	if s.Now <= 0 {
+		return 0
+	}
+	return float64(s.BitsSent) / s.Now.Seconds() / 1e6
+}
+
+// OfferedMbps returns measured offered load.
+func (s Stats) OfferedMbps() float64 {
+	if s.Now <= 0 {
+		return 0
+	}
+	return float64(s.BitsArrived) / s.Now.Seconds() / 1e6
+}
+
+// LossFrac returns the packet loss fraction.
+func (s Stats) LossFrac() float64 {
+	if s.PktsArrived == 0 {
+		return 0
+	}
+	return float64(s.PktsDropped) / float64(s.PktsArrived)
+}
+
+// Snapshot captures statistics at the current simulation time.
+func (c *Chip) Snapshot() Stats {
+	now := c.k.Now()
+	if now > c.lastBaseUpdate {
+		c.meter.Base((now - c.lastBaseUpdate).Micros())
+		c.lastBaseUpdate = now
+	}
+	st := Stats{
+		Now:         now,
+		PktsArrived: c.pktsArrived, PktsQueued: c.pktsQueued,
+		PktsDropped: c.pktsDropped, PktsSent: c.pktsSent,
+		BitsArrived: c.bitsArrived, BitsSent: c.bitsSent,
+		EnergyUJ:      c.meter.Total(),
+		FifoHighWater: c.fifoHighWater,
+		SdramRowHits:  c.sdramTm.hits,
+		SdramRowMiss:  c.sdramTm.misses,
+	}
+	if now > 0 {
+		st.AvgPowerW = st.EnergyUJ / now.Micros()
+	}
+	for _, me := range c.mes {
+		st.MEIdleFrac = append(st.MEIdleFrac, float64(me.IdleTime())/float64(now))
+		st.MEStallFrac = append(st.MEStallFrac, float64(me.StallTime())/float64(now))
+		st.MEBusyFrac = append(st.MEBusyFrac, float64(me.BusyTime())/float64(now))
+		st.MEInstr = append(st.MEInstr, me.InstrCount())
+		st.MEMemRefs = append(st.MEMemRefs, me.MemRefs())
+		st.MEVFChanges = append(st.MEVFChanges, me.VFChanges())
+	}
+	return st
+}
+
+// StopTickers cancels periodic chip activity (idle sampling) so that a
+// bounded run can drain cleanly.
+func (c *Chip) StopTickers() {
+	if c.idleTicker != nil {
+		c.idleTicker.Stop()
+	}
+}

@@ -1,0 +1,502 @@
+package npu
+
+import (
+	"fmt"
+
+	"nepdvs/internal/isa"
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+// ctxState is a hardware context's scheduling state.
+type ctxState uint8
+
+const (
+	ctxReady ctxState = iota
+	ctxBlocked
+	ctxHalted
+)
+
+// blockReason distinguishes what a blocked context waits on. The paper's
+// idle definition (§4.2) is specific: "If all the threads in an ME are
+// waiting for memory accesses to be completed, we consider the ME idle."
+// A context waiting on a transmit FIFO therefore does NOT make its ME idle —
+// that is the paper's "transmission constrained" state, and it is why the
+// transmitting MEs never trip the EDVS idle threshold.
+type blockReason uint8
+
+const (
+	blockNone blockReason = iota
+	blockMemory
+	blockTransmit
+)
+
+// context is one of an ME's hardware thread contexts.
+type context struct {
+	pc     int
+	regs   [isa.NumRegs]int64
+	state  ctxState
+	reason blockReason
+}
+
+// noTime marks "no pending idle timestamp".
+const noTime = sim.Time(-1)
+
+// ME is one microengine: an interpreter over the assembled microcode with
+// IXP-style zero-cost context swapping on memory references.
+type ME struct {
+	chip *Chip
+	idx  int
+	prog *isa.Program
+
+	vf     power.VF
+	period sim.Time
+
+	ctxs []context
+	cur  int // running context, or -1
+
+	// Idle accounting. idleFrom is the (possibly future) time the ME ran
+	// out of ready contexts; it is settled on wake. Stall time is kept
+	// separate so EDVS does not feed on its own penalties.
+	idleFrom   sim.Time
+	idleTotal  sim.Time
+	stallUntil sim.Time
+	stallTotal sim.Time
+
+	stepPending bool
+
+	// statistics
+	instrCount  uint64
+	memRefs     uint64
+	vfChanges   uint64
+	pollCycles  uint64
+	busyTime    sim.Time // time spent issuing instructions
+	haltedCount int
+}
+
+func newME(chip *Chip, idx int, prog *isa.Program, vf power.VF) *ME {
+	me := &ME{
+		chip: chip, idx: idx, prog: prog, vf: vf,
+		ctxs: make([]context, chip.cfg.NumCtx),
+		cur:  -1, idleFrom: noTime,
+	}
+	me.period = sim.NewClock(vf.MHz).Period()
+	return me
+}
+
+// VF returns the current operating point.
+func (me *ME) VF() power.VF { return me.vf }
+
+// IdleTime returns cumulative idle time (all contexts blocked), excluding
+// DVS stall time, settled up to the current simulation time.
+func (me *ME) IdleTime() sim.Time {
+	t := me.idleTotal
+	if now := me.chip.k.Now(); me.idleFrom != noTime && now > me.idleFrom {
+		t += now - me.idleFrom
+	}
+	return t
+}
+
+// StallTime returns cumulative DVS-transition stall time.
+func (me *ME) StallTime() sim.Time { return me.stallTotal }
+
+// InstrCount returns executed instruction count.
+func (me *ME) InstrCount() uint64 { return me.instrCount }
+
+// BusyTime returns cumulative time the ME spent issuing instructions
+// (batches × cycles × period); the remainder is ready-waiting, blocked or
+// stalled time.
+func (me *ME) BusyTime() sim.Time { return me.busyTime }
+
+// MemRefs returns the number of memory/unit references issued.
+func (me *ME) MemRefs() uint64 { return me.memRefs }
+
+// VFChanges returns the number of DVS transitions applied to this ME.
+func (me *ME) VFChanges() uint64 { return me.vfChanges }
+
+// setVF applies a DVS transition: the ME stalls for the configured penalty
+// and resumes at the new operating point.
+func (me *ME) setVF(vf power.VF) {
+	if vf == me.vf {
+		return
+	}
+	now := me.chip.k.Now()
+	me.vf = vf
+	me.period = sim.NewClock(vf.MHz).Period()
+	me.vfChanges++
+	penalty := me.chip.cfg.DVSPenalty
+	until := now + penalty
+	if until > me.stallUntil {
+		// Settle any idle period: stall supersedes idle.
+		me.settleIdle(now)
+		if me.stallUntil > now {
+			me.stallTotal += until - me.stallUntil
+		} else {
+			me.stallTotal += penalty
+		}
+		me.stallUntil = until
+	}
+	stallCycles := sim.NewClock(vf.MHz).CyclesIn(penalty)
+	me.chip.meter.StallCycles(stallCycles, vf)
+	me.chip.emitVFChange(me.idx, vf)
+	// Ensure execution resumes after the stall even if everything was
+	// quiescent.
+	me.scheduleStep(until)
+}
+
+func (me *ME) settleIdle(now sim.Time) {
+	if me.idleFrom != noTime {
+		if now > me.idleFrom {
+			me.idleTotal += now - me.idleFrom
+		}
+		me.idleFrom = noTime
+	}
+}
+
+// scheduleStep arranges a step event no earlier than at (and never inside a
+// stall window). Only one step is ever pending.
+func (me *ME) scheduleStep(at sim.Time) {
+	if me.stepPending {
+		return
+	}
+	now := me.chip.k.Now()
+	if at < now {
+		at = now
+	}
+	if at < me.stallUntil {
+		at = me.stallUntil
+	}
+	me.stepPending = true
+	me.chip.k.Schedule(at, me.step)
+}
+
+// wake marks a context ready (memory completion or FIFO grant).
+func (me *ME) wake(ci int) {
+	if me.ctxs[ci].state != ctxBlocked {
+		panic(fmt.Sprintf("npu: me%d ctx%d woken while %d", me.idx, ci, me.ctxs[ci].state))
+	}
+	me.ctxs[ci].state = ctxReady
+	me.ctxs[ci].reason = blockNone
+	if me.stepPending {
+		return
+	}
+	now := me.chip.k.Now()
+	resume := now
+	if me.idleFrom != noTime && me.idleFrom > now {
+		// The ME is still logically executing its last batch; resume when
+		// it ends.
+		resume = me.idleFrom
+	}
+	me.settleIdle(now)
+	me.scheduleStep(resume)
+}
+
+// pickReady selects the next ready context round-robin after cur.
+func (me *ME) pickReady() int {
+	n := len(me.ctxs)
+	start := me.cur + 1
+	for k := 0; k < n; k++ {
+		ci := (start + k) % n
+		if me.ctxs[ci].state == ctxReady {
+			return ci
+		}
+	}
+	return -1
+}
+
+// step executes one instruction batch. It is the only place microcode runs.
+func (me *ME) step() {
+	me.stepPending = false
+	now := me.chip.k.Now()
+	if now < me.stallUntil {
+		me.scheduleStep(me.stallUntil)
+		return
+	}
+	if me.cur < 0 || me.ctxs[me.cur].state != ctxReady {
+		me.cur = me.pickReady()
+	}
+	if me.cur < 0 {
+		if me.liveContexts() == 0 {
+			return // all halted; nothing more to do
+		}
+		if me.idleFrom == noTime && me.allBlockedOnMemory() {
+			me.idleFrom = now
+		}
+		return
+	}
+
+	var cycles int64
+	instrs := int64(0)
+	batchCap := me.chip.cfg.BatchCycles
+	running := true
+	for running && cycles < batchCap {
+		ctx := &me.ctxs[me.cur]
+		in := &me.prog.Code[ctx.pc]
+		cycles += in.Op.Cycles()
+		instrs++
+		issueAt := now + sim.Time(cycles)*me.period
+		switch in.Op {
+		case isa.OpNop:
+			ctx.pc++
+		case isa.OpHalt:
+			ctx.state = ctxHalted
+			me.haltedCount++
+			running = me.swap()
+		case isa.OpCtx:
+			ctx.pc++
+			// Voluntary swap: stay ready, move on.
+			running = me.swapVoluntary()
+		case isa.OpImm:
+			ctx.regs[in.Rd] = in.Imm
+			ctx.pc++
+		case isa.OpMov:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra]
+			ctx.pc++
+		case isa.OpAdd:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] + ctx.regs[in.Rb]
+			ctx.pc++
+		case isa.OpSub:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] - ctx.regs[in.Rb]
+			ctx.pc++
+		case isa.OpAnd:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] & ctx.regs[in.Rb]
+			ctx.pc++
+		case isa.OpOr:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] | ctx.regs[in.Rb]
+			ctx.pc++
+		case isa.OpXor:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] ^ ctx.regs[in.Rb]
+			ctx.pc++
+		case isa.OpShl:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] << uint64(ctx.regs[in.Rb]&63)
+			ctx.pc++
+		case isa.OpShr:
+			ctx.regs[in.Rd] = int64(uint64(ctx.regs[in.Ra]) >> uint64(ctx.regs[in.Rb]&63))
+			ctx.pc++
+		case isa.OpMul:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] * ctx.regs[in.Rb]
+			ctx.pc++
+		case isa.OpAddi:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] + in.Imm
+			ctx.pc++
+		case isa.OpSubi:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] - in.Imm
+			ctx.pc++
+		case isa.OpAndi:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] & in.Imm
+			ctx.pc++
+		case isa.OpShli:
+			ctx.regs[in.Rd] = ctx.regs[in.Ra] << uint64(in.Imm&63)
+			ctx.pc++
+		case isa.OpShri:
+			ctx.regs[in.Rd] = int64(uint64(ctx.regs[in.Ra]) >> uint64(in.Imm&63))
+			ctx.pc++
+		case isa.OpHash:
+			ctx.regs[in.Rd] = hash64(ctx.regs[in.Ra])
+			ctx.pc++
+		case isa.OpBr:
+			ctx.pc = int(in.Target)
+		case isa.OpBeq:
+			ctx.pc = me.branch(ctx, ctx.regs[in.Ra] == ctx.regs[in.Rb], in)
+		case isa.OpBne:
+			ctx.pc = me.branch(ctx, ctx.regs[in.Ra] != ctx.regs[in.Rb], in)
+		case isa.OpBlt:
+			ctx.pc = me.branch(ctx, ctx.regs[in.Ra] < ctx.regs[in.Rb], in)
+		case isa.OpBge:
+			ctx.pc = me.branch(ctx, ctx.regs[in.Ra] >= ctx.regs[in.Rb], in)
+		case isa.OpRxPop:
+			ctx.regs[in.Rd] = me.chip.rfifoPop()
+			me.pollCycles++
+			ctx.pc++
+		case isa.OpTxPush:
+			if me.chip.txRingPush(ctx.regs[in.Ra]) {
+				ctx.regs[in.Rd] = 0
+			} else {
+				ctx.regs[in.Rd] = 1
+			}
+			ctx.pc++
+		case isa.OpTxPop:
+			ctx.regs[in.Rd] = me.chip.txRingPop()
+			ctx.pc++
+		case isa.OpPktF:
+			ctx.regs[in.Rd] = me.chip.pktField(ctx.regs[in.Ra], isa.PktField(in.Imm), me.idx, ctx.pc)
+			ctx.pc++
+		case isa.OpScrR:
+			ctx.regs[in.Rd] = me.chip.scratchRead(ctx.regs[in.Ra])
+			ctx.pc++
+			me.blockOn(issueAt, me.chip.scratchDelay(), 1, scratchUnit)
+			running = me.swap()
+		case isa.OpScrW:
+			me.chip.scratchWrite(ctx.regs[in.Ra], ctx.regs[in.Rb])
+			ctx.pc++
+			me.blockOn(issueAt, me.chip.scratchDelay(), 1, scratchUnit)
+			running = me.swap()
+		case isa.OpCsr:
+			ctx.regs[in.Rd] = hash64(ctx.regs[in.Ra] ^ int64(me.idx))
+			ctx.pc++
+			me.blockOn(issueAt, me.chip.csrDelay(), 0, csrUnit)
+			running = me.swap()
+		case isa.OpSramR:
+			ctx.regs[in.Rd] = hash64(ctx.regs[in.Ra])
+			ctx.pc++
+			me.issueMem(issueAt, me.chip.sram, ctx.regs[in.Ra], in.Imm, false, sramUnit)
+			running = me.swap()
+		case isa.OpSramW:
+			ctx.pc++
+			me.issueMem(issueAt, me.chip.sram, ctx.regs[in.Ra], in.Imm, true, sramUnit)
+			running = me.swap()
+		case isa.OpSdramR:
+			ctx.regs[in.Rd] = hash64(ctx.regs[in.Ra] + 1)
+			ctx.pc++
+			me.issueMem(issueAt, me.chip.sdram, ctx.regs[in.Ra], in.Imm, false, sdramUnit)
+			running = me.swap()
+		case isa.OpSdramW:
+			ctx.pc++
+			me.issueMem(issueAt, me.chip.sdram, ctx.regs[in.Ra], in.Imm, true, sdramUnit)
+			running = me.swap()
+		case isa.OpSend:
+			handle := ctx.regs[in.Ra]
+			ctx.pc++
+			me.blockForSend(issueAt, handle)
+			running = me.swap()
+		default:
+			panic(fmt.Sprintf("npu: me%d: unimplemented opcode %v", me.idx, in.Op))
+		}
+	}
+
+	me.instrCount += uint64(instrs)
+	me.chip.meter.Instr(instrs, me.vf)
+	end := now + sim.Time(cycles)*me.period
+	me.busyTime += sim.Time(cycles) * me.period
+	me.chip.emitPipeline(me.idx, instrs)
+
+	// Rotate among ready contexts at batch boundaries (pickReady scans
+	// round-robin from cur+1, falling back to cur itself). Without this a
+	// polling context would hog the pipeline and starve a context whose
+	// memory reference completed — the hardware's context arbiter gives
+	// every ready context a turn.
+	if ci := me.pickReady(); ci >= 0 {
+		me.cur = ci
+		me.scheduleStep(end)
+		return
+	}
+	me.cur = -1
+	if me.liveContexts() > 0 && me.allBlockedOnMemory() {
+		// All contexts are waiting on memory: the ME goes idle (in the
+		// paper's sense) when the batch drains.
+		me.idleFrom = end
+	}
+}
+
+// allBlockedOnMemory reports whether every live context is blocked on a
+// memory reference — the paper's idle condition. A context waiting on the
+// transmit path keeps the ME "transmission constrained", not idle.
+func (me *ME) allBlockedOnMemory() bool {
+	for i := range me.ctxs {
+		c := &me.ctxs[i]
+		if c.state == ctxHalted {
+			continue
+		}
+		if c.state != ctxBlocked || c.reason != blockMemory {
+			return false
+		}
+	}
+	return true
+}
+
+func (me *ME) branch(ctx *context, taken bool, in *isa.Instr) int {
+	if taken {
+		return int(in.Target)
+	}
+	return ctx.pc + 1
+}
+
+// swap blocks/halts the current context and reports whether the batch can
+// continue with another ready context.
+func (me *ME) swap() bool {
+	ci := me.pickReady()
+	me.cur = ci
+	return ci >= 0
+}
+
+// swapVoluntary rotates to the next ready context, keeping the current one
+// ready. Reports whether execution continues (it always does: the current
+// context remains ready).
+func (me *ME) swapVoluntary() bool {
+	cur := me.cur
+	if ci := me.pickReady(); ci >= 0 {
+		me.cur = ci
+	} else {
+		me.cur = cur
+	}
+	return true
+}
+
+func (me *ME) liveContexts() int {
+	n := 0
+	for i := range me.ctxs {
+		if me.ctxs[i].state != ctxHalted {
+			n++
+		}
+	}
+	return n
+}
+
+// memory unit tags for energy accounting.
+type memUnit uint8
+
+const (
+	sramUnit memUnit = iota
+	sdramUnit
+	scratchUnit
+	csrUnit
+)
+
+// issueMem sends a reference to a queueing controller and blocks the
+// current context until completion.
+func (me *ME) issueMem(issueAt sim.Time, mc *memController, addr, words int64, write bool, unit memUnit) {
+	if words < 1 {
+		words = 1
+	}
+	ci := me.cur
+	me.ctxs[ci].state = ctxBlocked
+	me.ctxs[ci].reason = blockMemory
+	me.memRefs++
+	me.chip.chargeMem(unit, words)
+	me.chip.k.Schedule(issueAt, func() {
+		mc.request(memRequest{addr: addr, words: words, write: write, done: func() { me.wake(ci) }})
+	})
+}
+
+// blockOn blocks the current context for a fixed-latency unit access.
+func (me *ME) blockOn(issueAt sim.Time, latency sim.Time, words int64, unit memUnit) {
+	ci := me.cur
+	me.ctxs[ci].state = ctxBlocked
+	me.ctxs[ci].reason = blockMemory
+	me.memRefs++
+	if words > 0 {
+		me.chip.chargeMem(unit, words)
+	}
+	me.chip.k.Schedule(issueAt+latency, func() { me.wake(ci) })
+}
+
+// blockForSend hands a packet to the egress machinery; the context wakes
+// when the TFIFO accepts it.
+func (me *ME) blockForSend(issueAt sim.Time, handle int64) {
+	ci := me.cur
+	me.ctxs[ci].state = ctxBlocked
+	me.ctxs[ci].reason = blockTransmit
+	me.chip.k.Schedule(issueAt, func() {
+		me.chip.sendPacket(handle, me.idx, func() { me.wake(ci) })
+	})
+}
+
+// hash64 is the deterministic pseudo-data function standing in for memory
+// contents and the IXP hash unit.
+func hash64(v int64) int64 {
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return int64(x & 0x7fffffffffffffff)
+}

@@ -1,0 +1,114 @@
+package npu
+
+import (
+	"nepdvs/internal/sim"
+)
+
+// memRequest is one outstanding memory reference.
+type memRequest struct {
+	addr  int64
+	words int64
+	write bool
+	done  func() // invoked at completion time
+}
+
+// memController is a FCFS queueing model shared by the SRAM and SDRAM
+// units. Requests arrive at issue time, wait for the (single) command
+// pipeline, and occupy it for a service time computed by the timing
+// closure; banked row-state effects are folded into the service time.
+type memController struct {
+	k       *sim.Kernel
+	name    string
+	busyTil sim.Time
+	queue   []memRequest
+	active  bool
+	// service computes the occupancy of a request given the current time.
+	service func(r memRequest) sim.Time
+
+	// statistics
+	requests  uint64
+	words     uint64
+	waitTotal sim.Time
+	maxQueue  int
+}
+
+func newMemController(k *sim.Kernel, name string, service func(memRequest) sim.Time) *memController {
+	return &memController{k: k, name: name, service: service}
+}
+
+// request enqueues a reference; done fires at completion.
+func (mc *memController) request(r memRequest) {
+	mc.requests++
+	mc.words += uint64(r.words)
+	mc.queue = append(mc.queue, r)
+	if len(mc.queue) > mc.maxQueue {
+		mc.maxQueue = len(mc.queue)
+	}
+	if !mc.active {
+		mc.active = true
+		mc.serveNext(mc.k.Now())
+	}
+}
+
+func (mc *memController) serveNext(from sim.Time) {
+	if len(mc.queue) == 0 {
+		mc.active = false
+		return
+	}
+	r := mc.queue[0]
+	mc.queue = mc.queue[1:]
+	start := from
+	if mc.busyTil > start {
+		start = mc.busyTil
+	}
+	mc.waitTotal += start - from
+	occ := mc.service(r)
+	end := start + occ
+	mc.busyTil = end
+	mc.k.Schedule(end, func() {
+		r.done()
+		mc.serveNext(end)
+	})
+}
+
+// Stats for tests and reports.
+func (mc *memController) stats() (requests, words uint64, maxQueue int) {
+	return mc.requests, mc.words, mc.maxQueue
+}
+
+// sdramTiming carries the banked row-state model: a request to a bank whose
+// open row differs pays the activate/precharge penalty.
+type sdramTiming struct {
+	banks   int
+	rowNs   float64
+	wordNs  float64
+	lastRow []int64
+	hits    uint64
+	misses  uint64
+}
+
+func newSdramTiming(banks int, rowNs, wordNs float64) *sdramTiming {
+	t := &sdramTiming{banks: banks, rowNs: rowNs, wordNs: wordNs, lastRow: make([]int64, banks)}
+	for i := range t.lastRow {
+		t.lastRow[i] = -1
+	}
+	return t
+}
+
+func (t *sdramTiming) serviceTime(r memRequest) sim.Time {
+	bank := int(uint64(r.addr>>3) % uint64(t.banks))
+	row := r.addr >> 10
+	var ns float64
+	if t.lastRow[bank] != row {
+		t.misses++
+		t.lastRow[bank] = row
+		ns += t.rowNs
+	} else {
+		t.hits++
+	}
+	ns += float64(r.words) * t.wordNs
+	if ns < t.wordNs {
+		ns = t.wordNs
+	}
+	return sim.Time(ns * float64(sim.Nanosecond))
+}

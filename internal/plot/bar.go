@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders grouped vertical bars — used for the policy-comparison
+// summaries (mean power per benchmark × policy) with optional error bars.
+type BarChart struct {
+	Title  string
+	YLabel string
+	// Groups label the x axis (e.g. benchmark names).
+	Groups []string
+	// Series are the bars within each group (e.g. policies). Each series
+	// must have one value per group; Err is optional (± whiskers), nil or
+	// per-group.
+	Series        []BarSeries
+	Width, Height int
+}
+
+// BarSeries is one bar per group.
+type BarSeries struct {
+	Name   string
+	Values []float64
+	Err    []float64
+}
+
+// Render produces the SVG document.
+func (c *BarChart) Render() (string, error) {
+	if len(c.Groups) == 0 || len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: bar chart %q has no data", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Groups) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d groups", s.Name, len(s.Values), len(c.Groups))
+		}
+		if s.Err != nil && len(s.Err) != len(c.Groups) {
+			return "", fmt.Errorf("plot: series %q has %d error bars for %d groups", s.Name, len(s.Err), len(c.Groups))
+		}
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	ymax := 0.0
+	for _, s := range c.Series {
+		for k, v := range s.Values {
+			top := v
+			if s.Err != nil {
+				top += s.Err[k]
+			}
+			if !math.IsNaN(top) && !math.IsInf(top, 0) && top > ymax {
+				ymax = top
+			}
+		}
+	}
+	if ymax <= 0 {
+		return "", fmt.Errorf("plot: bar chart %q has no positive values", c.Title)
+	}
+	ymax *= 1.08
+
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+	groupW := plotW / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	py := func(v float64) float64 { return h - marginB - v/ymax*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n", w/2, esc(c.Title))
+	for _, ty := range niceTicks(0, ymax, 6) {
+		y := py(ty)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginL, y, w-marginR, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="end">%s</text>`+"\n", marginL-6, y+3, fmtTick(ty))
+	}
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, h-marginB)
+
+	for gi, g := range c.Groups {
+		gx := marginL + float64(gi)*groupW + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			x := gx + float64(si)*barW
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+				x, py(v), barW*0.92, (h-marginB)-py(v), palette[si%len(palette)])
+			if s.Err != nil && s.Err[gi] > 0 {
+				cx := x + barW*0.46
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+					cx, py(v-s.Err[gi]), cx, py(v+s.Err[gi]))
+				for _, ty := range []float64{v - s.Err[gi], v + s.Err[gi]} {
+					fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+						cx-3, py(ty), cx+3, py(ty))
+				}
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			marginL+(float64(gi)+0.5)*groupW, h-marginB+16, esc(g))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		(marginT+h-marginB)/2, (marginT+h-marginB)/2, esc(c.YLabel))
+	ly := marginT + 4
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="8" fill="%s"/>`+"\n",
+			w-marginR-110, ly, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10">%s</text>`+"\n", w-marginR-94, ly+8, esc(s.Name))
+		ly += 14
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

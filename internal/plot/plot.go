@@ -1,0 +1,294 @@
+// Package plot renders the experiment results as standalone SVG figures —
+// line charts for the distribution curves (Figures 2, 6, 7, 10, 11) and
+// heat maps for the design-space surfaces (Figures 8, 9). Output is plain
+// SVG 1.1 built with the standard library so the repository can ship its
+// figures without any plotting toolchain.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart is a multi-series 2-D chart.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width/Height in pixels; zero selects 640×420.
+	Width, Height int
+	// YMin/YMax fix the y range when YFixed; otherwise autoscaled.
+	YMin, YMax float64
+	YFixed     bool
+}
+
+// palette is a colorblind-safe cycle.
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#000000", "#999999",
+}
+
+const (
+	marginL = 62.0
+	marginR = 16.0
+	marginT = 34.0
+	marginB = 46.0
+)
+
+// Render produces the SVG document.
+func (c *LineChart) Render() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for k := range s.X {
+			x, y := s.X[k], s.Y[k]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: chart %q has no finite points", c.Title)
+	}
+	if c.YFixed {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*(w-marginL-marginR) }
+	py := func(y float64) float64 { return h - marginB - (y-ymin)/(ymax-ymin)*(h-marginT-marginB) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n", w/2, esc(c.Title))
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, h-marginB)
+	for _, tx := range niceTicks(xmin, xmax, 6) {
+		x := px(tx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", x, h-marginB, x, h-marginB+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="middle">%s</text>`+"\n", x, h-marginB+16, fmtTick(tx))
+	}
+	for _, ty := range niceTicks(ymin, ymax, 6) {
+		y := py(ty)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL-4, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="end">%s</text>`+"\n", marginL-7, y+3, fmtTick(ty))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginL, y, w-marginR, y)
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n", (marginL+w-marginR)/2, h-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n", (marginT+h-marginB)/2, (marginT+h-marginB)/2, esc(c.YLabel))
+
+	// Series polylines.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for k := range s.X {
+			x, y := s.X[k], s.Y[k]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			cy := math.Max(math.Min(y, ymax), ymin)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(cy)))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+	}
+	// Legend.
+	ly := marginT + 4
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			w-marginR-110, ly+4, w-marginR-90, ly+4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10">%s</text>`+"\n", w-marginR-85, ly+8, esc(s.Name))
+		ly += 14
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// HeatMap renders a (x, y) → z grid as colored cells with value labels —
+// the flat stand-in for the paper's 3-D surface plots.
+type HeatMap struct {
+	Title          string
+	XLabel, YLabel string
+	XTicks, YTicks []float64
+	// Z[i][j] is the value at XTicks[i], YTicks[j]; NaN cells are blank.
+	Z             [][]float64
+	Width, Height int
+}
+
+// Render produces the SVG document.
+func (m *HeatMap) Render() (string, error) {
+	if len(m.XTicks) == 0 || len(m.YTicks) == 0 {
+		return "", fmt.Errorf("plot: heat map %q has empty axes", m.Title)
+	}
+	if len(m.Z) != len(m.XTicks) {
+		return "", fmt.Errorf("plot: heat map %q has %d columns for %d x ticks", m.Title, len(m.Z), len(m.XTicks))
+	}
+	w, h := float64(m.Width), float64(m.Height)
+	if w <= 0 {
+		w = 560
+	}
+	if h <= 0 {
+		h = 420
+	}
+	zmin, zmax := math.Inf(1), math.Inf(-1)
+	for i := range m.Z {
+		if len(m.Z[i]) != len(m.YTicks) {
+			return "", fmt.Errorf("plot: heat map %q column %d has %d rows for %d y ticks", m.Title, i, len(m.Z[i]), len(m.YTicks))
+		}
+		for _, z := range m.Z[i] {
+			if math.IsNaN(z) {
+				continue
+			}
+			zmin, zmax = math.Min(zmin, z), math.Max(zmax, z)
+		}
+	}
+	if math.IsInf(zmin, 1) {
+		return "", fmt.Errorf("plot: heat map %q has no finite cells", m.Title)
+	}
+	if zmax == zmin {
+		zmax = zmin + 1
+	}
+	cw := (w - marginL - marginR) / float64(len(m.XTicks))
+	ch := (h - marginT - marginB) / float64(len(m.YTicks))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n", w/2, esc(m.Title))
+	for i, xv := range m.XTicks {
+		for j, yv := range m.YTicks {
+			z := m.Z[i][j]
+			x := marginL + float64(i)*cw
+			y := h - marginB - float64(j+1)*ch
+			if math.IsNaN(z) {
+				fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="#eeeeee" stroke="white"/>`+"\n", x, y, cw, ch)
+				continue
+			}
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s" stroke="white"/>`+"\n",
+				x, y, cw, ch, viridis((z-zmin)/(zmax-zmin)))
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="middle" fill="white">%s</text>`+"\n",
+				x+cw/2, y+ch/2+3, fmtTick(z))
+			_ = xv
+			_ = yv
+		}
+	}
+	for i, xv := range m.XTicks {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			marginL+(float64(i)+0.5)*cw, h-marginB+14, fmtTick(xv))
+	}
+	for j, yv := range m.YTicks {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, h-marginB-(float64(j)+0.5)*ch+3, fmtTick(yv))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n", (marginL+w-marginR)/2, h-8, esc(m.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n", (marginT+h-marginB)/2, (marginT+h-marginB)/2, esc(m.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// viridis approximates the viridis color map with a few anchors.
+func viridis(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	anchors := [][3]float64{
+		{68, 1, 84}, {59, 82, 139}, {33, 145, 140}, {94, 201, 98}, {253, 231, 37},
+	}
+	pos := t * float64(len(anchors)-1)
+	i := int(pos)
+	if i >= len(anchors)-1 {
+		i = len(anchors) - 2
+	}
+	f := pos - float64(i)
+	mix := func(a, b float64) int { return int(a + (b-a)*f) }
+	return fmt.Sprintf("#%02x%02x%02x",
+		mix(anchors[i][0], anchors[i+1][0]),
+		mix(anchors[i][1], anchors[i+1][1]),
+		mix(anchors[i][2], anchors[i+1][2]))
+}
+
+// niceTicks picks ~n human-friendly tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case av >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,274 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed parses the SVG with encoding/xml to catch markup errors.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestLineChartBasic(t *testing.T) {
+	c := &LineChart{
+		Title:  "Power -- threshold 1000Mbps",
+		XLabel: "Power (W)",
+		YLabel: "Normalized # of instances",
+		Series: []Series{
+			{Name: "20K", X: []float64{0.5, 1.0, 1.5}, Y: []float64{0, 0.5, 1}},
+			{Name: "noDVS", X: []float64{0.5, 1.0, 1.5}, Y: []float64{0, 0.1, 1}},
+		},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "polyline", "20K", "noDVS", "Power (W)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (&LineChart{Title: "x"}).Render(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := &LineChart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c = &LineChart{Series: []Series{{Name: "a", X: []float64{math.NaN()}, Y: []float64{math.Inf(1)}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("all-NaN chart accepted")
+	}
+}
+
+func TestLineChartSkipsNonFinite(t *testing.T) {
+	c := &LineChart{
+		Series: []Series{{
+			Name: "a",
+			X:    []float64{1, 2, math.NaN(), 3},
+			Y:    []float64{1, math.Inf(1), 2, 3},
+		}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("non-finite values leaked into SVG")
+	}
+}
+
+func TestLineChartFixedYRange(t *testing.T) {
+	c := &LineChart{
+		YFixed: true, YMin: 0, YMax: 1,
+		Series: []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0.2, 5.0}}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+}
+
+func TestXMLEscaping(t *testing.T) {
+	c := &LineChart{
+		Title:  `a < b & "c" > d`,
+		Series: []Series{{Name: "s<1>", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "&lt;") || !strings.Contains(svg, "&amp;") {
+		t.Error("special characters not escaped")
+	}
+}
+
+// Property: random finite charts always render well-formed XML.
+func TestLineChartWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var series []Series
+		for s := 0; s < rng.Intn(5)+1; s++ {
+			n := rng.Intn(30) + 2
+			xs, ys := make([]float64, n), make([]float64, n)
+			for k := range xs {
+				xs[k] = rng.NormFloat64() * 100
+				ys[k] = rng.NormFloat64() * 100
+			}
+			series = append(series, Series{Name: "s", X: xs, Y: ys})
+		}
+		c := &LineChart{Title: "t", Series: series}
+		svg, err := c.Render()
+		if err != nil {
+			return false
+		}
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	m := &HeatMap{
+		Title: "p80 power", XLabel: "threshold", YLabel: "window",
+		XTicks: []float64{800, 1000},
+		YTicks: []float64{20000, 40000},
+		Z:      [][]float64{{1.2, 1.3}, {1.0, math.NaN()}},
+	}
+	svg, err := m.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got < 5 { // background + 4 cells
+		t.Errorf("rect count = %d", got)
+	}
+	if !strings.Contains(svg, "#eeeeee") {
+		t.Error("NaN cell not blanked")
+	}
+}
+
+func TestHeatMapErrors(t *testing.T) {
+	if _, err := (&HeatMap{}).Render(); err == nil {
+		t.Error("empty heat map accepted")
+	}
+	m := &HeatMap{XTicks: []float64{1}, YTicks: []float64{1}, Z: [][]float64{}}
+	if _, err := m.Render(); err == nil {
+		t.Error("column mismatch accepted")
+	}
+	m = &HeatMap{XTicks: []float64{1}, YTicks: []float64{1, 2}, Z: [][]float64{{1}}}
+	if _, err := m.Render(); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	m = &HeatMap{XTicks: []float64{1}, YTicks: []float64{1}, Z: [][]float64{{math.NaN()}}}
+	if _, err := m.Render(); err == nil {
+		t.Error("all-NaN heat map accepted")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 6)
+	if len(ticks) < 4 || len(ticks) > 12 {
+		t.Errorf("tick count = %d: %v", len(ticks), ticks)
+	}
+	for k := 1; k < len(ticks); k++ {
+		if ticks[k] <= ticks[k-1] {
+			t.Errorf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+	// Ticks stay within (slightly extended) range.
+	ticks = niceTicks(0.37, 0.92, 5)
+	for _, tk := range ticks {
+		if tk < 0.37-1e-9 || tk > 0.92+1e-9 {
+			t.Errorf("tick %v outside range", tk)
+		}
+	}
+}
+
+func TestViridisEndpoints(t *testing.T) {
+	lo, hi := viridis(0), viridis(1)
+	if lo == hi {
+		t.Error("color map collapsed")
+	}
+	if viridis(-5) != lo || viridis(5) != hi {
+		t.Error("out-of-range t not clamped")
+	}
+	if len(lo) != 7 || lo[0] != '#' {
+		t.Errorf("bad color literal %q", lo)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		20000: "20k",
+		150:   "150",
+		7:     "7",
+		1.25:  "1.2",
+		0.05:  "0.05",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title:  "Power comparison",
+		YLabel: "Power (W)",
+		Groups: []string{"ipfwdr", "nat"},
+		Series: []BarSeries{
+			{Name: "noDVS", Values: []float64{1.37, 1.64}, Err: []float64{0.06, 0.01}},
+			{Name: "EDVS", Values: []float64{1.15, 1.64}},
+			{Name: "TDVS", Values: []float64{0.90, 0.99}},
+		},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	// Background + 6 bars + 3 legend swatches.
+	if got := strings.Count(svg, "<rect"); got != 10 {
+		t.Errorf("rect count = %d, want 10", got)
+	}
+	for _, want := range []string{"ipfwdr", "noDVS", "Power (W)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bar chart missing %q", want)
+		}
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{Title: "x"}).Render(); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	c := &BarChart{Groups: []string{"a"}, Series: []BarSeries{{Name: "s", Values: []float64{1, 2}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("value/group mismatch accepted")
+	}
+	c = &BarChart{Groups: []string{"a"}, Series: []BarSeries{{Name: "s", Values: []float64{1}, Err: []float64{1, 2}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("err/group mismatch accepted")
+	}
+	c = &BarChart{Groups: []string{"a"}, Series: []BarSeries{{Name: "s", Values: []float64{0}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("all-zero chart accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"nepdvs/internal/sim"
+)
+
+// ExampleKernel sketches the event-driven style the NPU model is built on:
+// schedule work in picoseconds, nest follow-up events, drain the queue.
+func ExampleKernel() {
+	var k sim.Kernel
+	clock := sim.NewClock(600) // a 600 MHz domain
+	k.Schedule(clock.Cycles(100), func() {
+		fmt.Printf("100 cycles in at %v\n", k.Now())
+		k.After(10*sim.Microsecond, func() {
+			fmt.Printf("10us later at %v\n", k.Now())
+		})
+	})
+	k.Run()
+	// Output:
+	// 100 cycles in at 166.700ns
+	// 10us later at 10.167us
+}
+
+// ExampleTicker shows the periodic callbacks DVS monitor windows use.
+func ExampleTicker() {
+	var k sim.Kernel
+	var tk *sim.Ticker
+	n := 0
+	tk = sim.NewTicker(&k, 33*sim.Microsecond, func(at sim.Time) {
+		n++
+		fmt.Printf("window %d closes at %v\n", n, at)
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	// Output:
+	// window 1 closes at 33.000us
+	// window 2 closes at 66.000us
+	// window 3 closes at 99.000us
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format. Long simulations emit tens of millions of events;
+// the binary encoding is roughly 4× denser than text and parses an order of
+// magnitude faster.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "NPT1"
+//	records:
+//	  nameID  uvarint      // index into the name table built on the fly
+//	  (if nameID == 0)     // new name definition
+//	    nlen  uvarint
+//	    name  [nlen]byte   // then this record's nameID is the next index
+//	  cycle    uvarint
+//	  time     float64 bits (uint64 fixed)
+//	  energy   float64 bits
+//	  totalPkt uvarint
+//	  totalBit uvarint
+//	  nextra   uvarint
+//	  extras:  (klen uvarint, key bytes, float64 bits) × nextra
+//
+// Name interning: the first occurrence of each event name is written inline
+// with nameID 0; subsequent occurrences reference the table (1-based).
+const binaryMagic = "NPT1"
+
+// BinaryWriter streams events in the binary format.
+type BinaryWriter struct {
+	bw     *bufio.Writer
+	names  map[string]uint64
+	wrote  bool
+	closed bool
+	buf    []byte
+}
+
+// NewBinaryWriter wraps w. Call Close when done.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriterSize(w, 1<<16), names: make(map[string]uint64)}
+}
+
+func (b *BinaryWriter) uvarint(v uint64) error {
+	b.buf = binary.AppendUvarint(b.buf[:0], v)
+	_, err := b.bw.Write(b.buf)
+	return err
+}
+
+func (b *BinaryWriter) f64(v float64) error {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	_, err := b.bw.Write(tmp[:])
+	return err
+}
+
+// Emit implements Sink.
+func (b *BinaryWriter) Emit(ev *Event) error {
+	if b.closed {
+		return fmt.Errorf("trace: emit on closed BinaryWriter")
+	}
+	if !b.wrote {
+		if _, err := b.bw.WriteString(binaryMagic); err != nil {
+			return err
+		}
+		b.wrote = true
+	}
+	id, ok := b.names[ev.Name]
+	if !ok {
+		if err := b.uvarint(0); err != nil {
+			return err
+		}
+		if err := b.uvarint(uint64(len(ev.Name))); err != nil {
+			return err
+		}
+		if _, err := b.bw.WriteString(ev.Name); err != nil {
+			return err
+		}
+		id = uint64(len(b.names) + 1)
+		b.names[ev.Name] = id
+	} else if err := b.uvarint(id); err != nil {
+		return err
+	}
+	if err := b.uvarint(ev.Cycle); err != nil {
+		return err
+	}
+	if err := b.f64(ev.Time); err != nil {
+		return err
+	}
+	if err := b.f64(ev.Energy); err != nil {
+		return err
+	}
+	if err := b.uvarint(ev.TotalPkt); err != nil {
+		return err
+	}
+	if err := b.uvarint(ev.TotalBit); err != nil {
+		return err
+	}
+	if err := b.uvarint(uint64(len(ev.Extra))); err != nil {
+		return err
+	}
+	for _, k := range ev.ExtraNames() {
+		if err := b.uvarint(uint64(len(k))); err != nil {
+			return err
+		}
+		if _, err := b.bw.WriteString(k); err != nil {
+			return err
+		}
+		if err := b.f64(ev.Extra[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and marks the writer unusable.
+func (b *BinaryWriter) Close() error {
+	b.closed = true
+	return b.bw.Flush()
+}
+
+// BinaryReader parses the binary trace format as a Source.
+type BinaryReader struct {
+	br      *bufio.Reader
+	names   []string
+	started bool
+	err     error
+}
+
+// NewBinaryReader wraps r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (b *BinaryReader) f64() (float64, error) {
+	var tmp [8]byte
+	if _, err := io.ReadFull(b.br, tmp[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(tmp[:])), nil
+}
+
+// Next implements Source.
+func (b *BinaryReader) Next() (Event, bool, error) {
+	if b.err != nil {
+		return Event{}, false, b.err
+	}
+	fail := func(err error) (Event, bool, error) {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("trace: truncated binary trace")
+		}
+		b.err = err
+		return Event{}, false, err
+	}
+	if !b.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(b.br, magic[:]); err != nil {
+			if err == io.EOF {
+				return Event{}, false, nil // empty trace
+			}
+			return fail(err)
+		}
+		if string(magic[:]) != binaryMagic {
+			return fail(fmt.Errorf("trace: bad magic %q, not a binary trace", magic))
+		}
+		b.started = true
+	}
+	nameID, err := binary.ReadUvarint(b.br)
+	if err == io.EOF {
+		return Event{}, false, nil // clean end of stream
+	}
+	if err != nil {
+		return fail(err)
+	}
+	var ev Event
+	if nameID == 0 {
+		nlen, err := binary.ReadUvarint(b.br)
+		if err != nil {
+			return fail(err)
+		}
+		if nlen == 0 || nlen > 1<<16 {
+			return fail(fmt.Errorf("trace: implausible name length %d", nlen))
+		}
+		name := make([]byte, nlen)
+		if _, err := io.ReadFull(b.br, name); err != nil {
+			return fail(err)
+		}
+		b.names = append(b.names, string(name))
+		ev.Name = string(name)
+	} else {
+		if nameID > uint64(len(b.names)) {
+			return fail(fmt.Errorf("trace: name id %d out of range (table has %d)", nameID, len(b.names)))
+		}
+		ev.Name = b.names[nameID-1]
+	}
+	if ev.Cycle, err = binary.ReadUvarint(b.br); err != nil {
+		return fail(err)
+	}
+	if ev.Time, err = b.f64(); err != nil {
+		return fail(err)
+	}
+	if ev.Energy, err = b.f64(); err != nil {
+		return fail(err)
+	}
+	if ev.TotalPkt, err = binary.ReadUvarint(b.br); err != nil {
+		return fail(err)
+	}
+	if ev.TotalBit, err = binary.ReadUvarint(b.br); err != nil {
+		return fail(err)
+	}
+	nextra, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		return fail(err)
+	}
+	if nextra > 1<<10 {
+		return fail(fmt.Errorf("trace: implausible extra count %d", nextra))
+	}
+	for i := uint64(0); i < nextra; i++ {
+		klen, err := binary.ReadUvarint(b.br)
+		if err != nil {
+			return fail(err)
+		}
+		if klen == 0 || klen > 1<<12 {
+			return fail(fmt.Errorf("trace: implausible extra key length %d", klen))
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(b.br, key); err != nil {
+			return fail(err)
+		}
+		v, err := b.f64()
+		if err != nil {
+			return fail(err)
+		}
+		ev.SetExtra(string(key), v)
+	}
+	return ev, true, nil
+}
+
+// OpenSource sniffs the first bytes of r and returns a text or binary reader
+// accordingly.
+func OpenSource(r io.Reader) (Source, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if string(head) == binaryMagic {
+		return &BinaryReader{br: br}, nil
+	}
+	return NewTextReader(br), nil
+}

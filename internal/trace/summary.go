@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary aggregates a whole trace: per-event counts, first/last
+// timestamps, energy span and the derived rates. It is the data behind the
+// tracestat command.
+type Summary struct {
+	Events     uint64
+	ByName     map[string]uint64
+	FirstCycle uint64
+	LastCycle  uint64
+	FirstUs    float64
+	LastUs     float64
+	// Energy annotations are cumulative; the span is total energy over the
+	// trace window.
+	FirstEnergy, LastEnergy float64
+	// Forwarding progress from the last forward event.
+	TotalPkt, TotalBit uint64
+}
+
+// DurationUs returns the covered simulated time in microseconds.
+func (s *Summary) DurationUs() float64 { return s.LastUs - s.FirstUs }
+
+// AvgPowerW returns average power over the covered window, 0 when the
+// window is empty.
+func (s *Summary) AvgPowerW() float64 {
+	d := s.DurationUs()
+	if d <= 0 {
+		return 0
+	}
+	return (s.LastEnergy - s.FirstEnergy) / d
+}
+
+// ForwardMbps returns the mean forwarding rate over the covered window.
+func (s *Summary) ForwardMbps() float64 {
+	d := s.DurationUs()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.TotalBit) / d // bits per µs == Mbps
+}
+
+// Summarize drains a source and aggregates it.
+func Summarize(src Source) (*Summary, error) {
+	s := &Summary{ByName: make(map[string]uint64)}
+	first := true
+	for {
+		ev, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		s.Events++
+		s.ByName[ev.Name]++
+		if first {
+			s.FirstCycle, s.FirstUs, s.FirstEnergy = ev.Cycle, ev.Time, ev.Energy
+			first = false
+		}
+		s.LastCycle, s.LastUs, s.LastEnergy = ev.Cycle, ev.Time, ev.Energy
+		if ev.Name == EvForward {
+			s.TotalPkt, s.TotalBit = ev.TotalPkt, ev.TotalBit
+		}
+	}
+	if s.Events == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return s, nil
+}
+
+// String renders a human-readable report.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events        %d\n", s.Events)
+	fmt.Fprintf(&b, "span          cycles %d..%d, %.3f..%.3f us\n", s.FirstCycle, s.LastCycle, s.FirstUs, s.LastUs)
+	fmt.Fprintf(&b, "energy        %.3f uJ over %.3f us (avg %.3f W)\n",
+		s.LastEnergy-s.FirstEnergy, s.DurationUs(), s.AvgPowerW())
+	fmt.Fprintf(&b, "forwarded     %d packets, %d bits (%.1f Mbps)\n", s.TotalPkt, s.TotalBit, s.ForwardMbps())
+	names := make([]string, 0, len(s.ByName))
+	for n := range s.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("event counts:\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-20s %d\n", n, s.ByName[n])
+	}
+	return b.String()
+}

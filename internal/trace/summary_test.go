@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	evs := []Event{
+		{Name: "fifo", Cycle: 100, Time: 1.0, Energy: 2.0, TotalPkt: 1, TotalBit: 320},
+		{Name: "forward", Cycle: 200, Time: 2.0, Energy: 4.0, TotalPkt: 1, TotalBit: 320},
+		{Name: "fifo", Cycle: 300, Time: 3.0, Energy: 6.0, TotalPkt: 2, TotalBit: 640},
+		{Name: "forward", Cycle: 400, Time: 5.0, Energy: 10.0, TotalPkt: 2, TotalBit: 640},
+	}
+	s, err := Summarize(&SliceSource{Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 4 || s.ByName["fifo"] != 2 || s.ByName["forward"] != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.FirstCycle != 100 || s.LastCycle != 400 {
+		t.Errorf("cycle span = %d..%d", s.FirstCycle, s.LastCycle)
+	}
+	if got := s.DurationUs(); got != 4.0 {
+		t.Errorf("duration = %v", got)
+	}
+	// Energy 2..10 over 4 us = 2 W.
+	if got := s.AvgPowerW(); got != 2.0 {
+		t.Errorf("power = %v", got)
+	}
+	// 640 bits over 4 us = 160 Mbps.
+	if got := s.ForwardMbps(); got != 160 {
+		t.Errorf("mbps = %v", got)
+	}
+	out := s.String()
+	for _, want := range []string{"events", "forward", "fifo", "Mbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(&SliceSource{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestSummarizeSingleEvent(t *testing.T) {
+	s, err := Summarize(&SliceSource{Events: []Event{{Name: "fifo", Time: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DurationUs() != 0 || s.AvgPowerW() != 0 || s.ForwardMbps() != 0 {
+		t.Error("degenerate window should report zero rates")
+	}
+	if math.IsNaN(s.AvgPowerW()) {
+		t.Error("NaN leaked from zero-duration summary")
+	}
+}
+
+func TestSummarizePropagatesSourceError(t *testing.T) {
+	r := NewTextReader(strings.NewReader("garbage line\n"))
+	if _, err := Summarize(r); err == nil {
+		t.Fatal("source error not propagated")
+	}
+}

@@ -1,0 +1,241 @@
+// Package trace defines the simulation trace format consumed by the LOC
+// checkers and distribution analyzers.
+//
+// A trace is an ordered stream of events. Each event has a name (e.g.
+// "forward", "fifo", or a microengine-prefixed name such as "m2_pipeline")
+// and carries the five annotations from the paper's Figure 3:
+//
+//	cycle      core reference-clock cycles elapsed since simulation start
+//	time       simulated time in microseconds
+//	energy     cumulative energy consumed, in microjoules
+//	total_pkt  total packets received or transmitted so far
+//	total_bit  total bits received or transmitted so far
+//
+// Traces may carry additional free-form annotations (for example the idle
+// fraction attached to per-window "idle" events used in the paper's §4.2
+// idle-time study); the five standard ones are always present.
+//
+// Two on-disk encodings are provided: a human-readable text format mirroring
+// the paper's Figure 4 snapshot, and a compact binary format for long runs.
+// Both stream — readers never hold more than one event in memory, so the
+// 8·10⁶-cycle runs of the paper analyze in O(1) space.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Standard annotation names (paper Figure 3).
+const (
+	AnnCycle    = "cycle"
+	AnnTime     = "time"
+	AnnEnergy   = "energy"
+	AnnTotalPkt = "total_pkt"
+	AnnTotalBit = "total_bit"
+)
+
+// StandardAnnotations lists the five always-present annotations in canonical
+// column order.
+var StandardAnnotations = []string{AnnCycle, AnnTime, AnnEnergy, AnnTotalPkt, AnnTotalBit}
+
+// Well-known event names. Microengine-scoped events are prefixed, e.g.
+// "m2_pipeline" is a pipeline event from ME2.
+const (
+	EvForward  = "forward"  // an IP packet was forwarded (transmitted)
+	EvFifo     = "fifo"     // an IP packet entered the processing queue
+	EvPipeline = "pipeline" // an instruction entered an execution pipeline
+	EvIdle     = "idle"     // per-window idle-fraction sample (extension)
+	EvVFChange = "vfchange" // a DVS voltage/frequency transition (extension)
+	EvDrop     = "drop"     // a packet was dropped at the RFIFO (extension)
+)
+
+// MEEvent returns the ME-prefixed form of a base event name, e.g.
+// MEEvent(2, EvPipeline) == "m2_pipeline".
+func MEEvent(me int, base string) string { return fmt.Sprintf("m%d_%s", me, base) }
+
+// Event is one trace record.
+type Event struct {
+	Name string
+	// Standard annotations, kept as struct fields for speed: simulations
+	// emit millions of events and map allocation per event would dominate.
+	Cycle    uint64
+	Time     float64 // microseconds
+	Energy   float64 // microjoules
+	TotalPkt uint64
+	TotalBit uint64
+	// Extra holds non-standard annotations; nil for most events.
+	Extra map[string]float64
+}
+
+// Annotation returns the named annotation value. Unknown names report ok =
+// false; LOC semantic analysis turns that into a user-facing error before
+// evaluation begins, so evaluators may treat !ok as a bug.
+func (e *Event) Annotation(name string) (v float64, ok bool) {
+	switch name {
+	case AnnCycle:
+		return float64(e.Cycle), true
+	case AnnTime:
+		return e.Time, true
+	case AnnEnergy:
+		return e.Energy, true
+	case AnnTotalPkt:
+		return float64(e.TotalPkt), true
+	case AnnTotalBit:
+		return float64(e.TotalBit), true
+	}
+	v, ok = e.Extra[name]
+	return v, ok
+}
+
+// SetExtra attaches a non-standard annotation.
+func (e *Event) SetExtra(name string, v float64) {
+	if e.Extra == nil {
+		e.Extra = make(map[string]float64, 2)
+	}
+	e.Extra[name] = v
+}
+
+// ExtraNames returns the sorted names of non-standard annotations.
+func (e *Event) ExtraNames() []string {
+	if len(e.Extra) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(e.Extra))
+	for k := range e.Extra {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders one event in the text-trace line format.
+func (e *Event) String() string {
+	s := fmt.Sprintf("%d %.3f %.6f %d %d %s", e.Cycle, e.Time, e.Energy, e.TotalPkt, e.TotalBit, e.Name)
+	for _, k := range e.ExtraNames() {
+		s += fmt.Sprintf(" %s=%g", k, e.Extra[k])
+	}
+	return s
+}
+
+// Source is a stream of events. Next returns the next event, or ok = false
+// at end of stream; a non-nil error reports a malformed stream. Sources are
+// single-pass.
+type Source interface {
+	Next() (ev Event, ok bool, err error)
+}
+
+// Sink consumes events as a simulation produces them. The event is only
+// valid for the duration of the call.
+type Sink interface {
+	Emit(ev *Event) error
+}
+
+// SliceSource adapts an in-memory event slice to a Source; used heavily in
+// tests and by the live analyzer plumbing.
+type SliceSource struct {
+	Events []Event
+	pos    int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Event, bool, error) {
+	if s.pos >= len(s.Events) {
+		return Event{}, false, nil
+	}
+	ev := s.Events[s.pos]
+	s.pos++
+	return ev, true, nil
+}
+
+// Collector is a Sink that appends every event to a slice.
+type Collector struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev *Event) error {
+	cp := *ev
+	if ev.Extra != nil {
+		cp.Extra = make(map[string]float64, len(ev.Extra))
+		for k, v := range ev.Extra {
+			cp.Extra[k] = v
+		}
+	}
+	c.Events = append(c.Events, cp)
+	return nil
+}
+
+// Source converts the collected events into a replayable Source.
+func (c *Collector) Source() *SliceSource { return &SliceSource{Events: c.Events} }
+
+// MultiSink fans one event stream out to several sinks (e.g. a file writer
+// plus a live analyzer).
+type MultiSink []Sink
+
+// Emit implements Sink, stopping at the first sink error.
+func (m MultiSink) Emit(ev *Event) error {
+	for _, s := range m {
+		if err := s.Emit(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FilterSink forwards only events whose name is in the allow set. A nil or
+// empty allow set forwards everything.
+type FilterSink struct {
+	Allow map[string]bool
+	Dest  Sink
+}
+
+// Emit implements Sink.
+func (f *FilterSink) Emit(ev *Event) error {
+	if len(f.Allow) > 0 && !f.Allow[ev.Name] {
+		return nil
+	}
+	return f.Dest.Emit(ev)
+}
+
+// FilterSource wraps a Source, yielding only events whose name is in the
+// allow set (nil or empty allows everything) — the reader-side counterpart
+// of FilterSink for analyzing a subset of a stored trace.
+type FilterSource struct {
+	Allow map[string]bool
+	Src   Source
+}
+
+// Next implements Source.
+func (f *FilterSource) Next() (Event, bool, error) {
+	for {
+		ev, ok, err := f.Src.Next()
+		if err != nil || !ok {
+			return ev, ok, err
+		}
+		if len(f.Allow) == 0 || f.Allow[ev.Name] {
+			return ev, true, nil
+		}
+	}
+}
+
+// DiscardSink drops every event; useful for benchmarking raw simulation
+// speed without trace overhead.
+type DiscardSink struct{}
+
+// Emit implements Sink.
+func (DiscardSink) Emit(*Event) error { return nil }
+
+// CountingSink counts events per name without retaining them.
+type CountingSink struct {
+	Counts map[string]uint64
+}
+
+// Emit implements Sink.
+func (c *CountingSink) Emit(ev *Event) error {
+	if c.Counts == nil {
+		c.Counts = make(map[string]uint64)
+	}
+	c.Counts[ev.Name]++
+	return nil
+}

@@ -1,0 +1,178 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// DayModel is the synthetic stand-in for the NLANR edge-router day trace of
+// the paper's Figure 2: a smooth diurnal throughput curve (quiet overnight,
+// busy early afternoon) with multiplicative pseudo-random modulation.
+type DayModel struct {
+	// MinMbps and PeakMbps bound the smooth diurnal component.
+	MinMbps, PeakMbps float64
+	// PeakHour is the hour of day (0–24) of maximum load.
+	PeakHour float64
+	// NoiseFrac is the relative amplitude of short-term modulation (0–1).
+	NoiseFrac float64
+	// Seed drives the modulation.
+	Seed int64
+}
+
+// DefaultDayModel mirrors the Figure 2 trace: rates between roughly
+// 2·10⁷ and 2.5·10⁸ bits/s peaking around 14:00.
+func DefaultDayModel() *DayModel {
+	return &DayModel{MinMbps: 20, PeakMbps: 250, PeakHour: 14, NoiseFrac: 0.35, Seed: 1}
+}
+
+func (m *DayModel) validate() error {
+	if m.MinMbps <= 0 || m.PeakMbps <= m.MinMbps {
+		return fmt.Errorf("traffic: day model needs 0 < MinMbps < PeakMbps, got %v, %v", m.MinMbps, m.PeakMbps)
+	}
+	if m.NoiseFrac < 0 || m.NoiseFrac >= 1 {
+		return fmt.Errorf("traffic: NoiseFrac %v outside [0, 1)", m.NoiseFrac)
+	}
+	return nil
+}
+
+// SmoothRate returns the diurnal component at the given hour of day,
+// in Mbps, without modulation.
+func (m *DayModel) SmoothRate(hour float64) float64 {
+	hour = math.Mod(math.Mod(hour, 24)+24, 24)
+	// Raised cosine centred on PeakHour.
+	phase := (hour - m.PeakHour) / 24 * 2 * math.Pi
+	shape := 0.5 * (1 + math.Cos(phase))
+	// Sharpen the peak a little so the afternoon plateau resembles the
+	// measured trace rather than a pure sinusoid.
+	shape = math.Pow(shape, 1.6)
+	return m.MinMbps + (m.PeakMbps-m.MinMbps)*shape
+}
+
+// RateBin is one time bin of the day distribution: the max, median and min
+// of the sampled instantaneous rates within the bin (the three series the
+// paper plots).
+type RateBin struct {
+	Hour          float64 // bin start, hours
+	Max, Med, Min float64 // Mbps
+}
+
+// Bins samples the modulated rate process over [startHour, endHour) in bins
+// of binMinutes, with samplesPerBin instantaneous samples per bin, and
+// returns the per-bin max/median/min series.
+func (m *DayModel) Bins(startHour, endHour float64, binMinutes int, samplesPerBin int) ([]RateBin, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if endHour <= startHour || binMinutes <= 0 || samplesPerBin <= 0 {
+		return nil, fmt.Errorf("traffic: bad bin request [%v, %v) / %d min / %d samples",
+			startHour, endHour, binMinutes, samplesPerBin)
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	binH := float64(binMinutes) / 60
+	var out []RateBin
+	// AR(1) modulation shared across bins for temporal coherence.
+	ar := 0.0
+	const rho = 0.85
+	for h := startHour; h < endHour-1e-9; h += binH {
+		samples := make([]float64, samplesPerBin)
+		for k := range samples {
+			ar = rho*ar + (1-rho)*rng.NormFloat64()
+			mod := 1 + m.NoiseFrac*ar*3 // ×3 ≈ un-shrink the AR(1) variance
+			if mod < 0.1 {
+				mod = 0.1
+			}
+			r := m.SmoothRate(h+binH*float64(k)/float64(samplesPerBin)) * mod
+			if r < 0 {
+				r = 0
+			}
+			samples[k] = r
+		}
+		sort.Float64s(samples)
+		out = append(out, RateBin{
+			Hour: h,
+			Min:  samples[0],
+			Med:  samples[len(samples)/2],
+			Max:  samples[len(samples)-1],
+		})
+	}
+	return out, nil
+}
+
+// RenderBins writes the bins as a gnuplot-style table (hour, max, med, min),
+// the paper's Figure 2 data.
+func RenderBins(bins []RateBin) string {
+	var b strings.Builder
+	b.WriteString("# hour\tmax_mbps\tmed_mbps\tmin_mbps\n")
+	for _, bin := range bins {
+		fmt.Fprintf(&b, "%.3f\t%.2f\t%.2f\t%.2f\n", bin.Hour, bin.Max, bin.Med, bin.Min)
+	}
+	return b.String()
+}
+
+// Level selects one of the three traffic periods the paper samples.
+type Level int
+
+// Traffic levels.
+const (
+	LevelLow Level = iota
+	LevelMedium
+	LevelHigh
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelLow:
+		return "low"
+	case LevelMedium:
+		return "medium"
+	case LevelHigh:
+		return "high"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel maps a level name ("low", "medium"/"med", "high") to its
+// Level; it is the inverse of String for the command-line tools.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "low":
+		return LevelLow, nil
+	case "medium", "med":
+		return LevelMedium, nil
+	case "high":
+		return LevelHigh, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown level %q (want low, medium or high)", s)
+}
+
+// SampleLevel returns a generator Config whose mean load corresponds to a
+// high, medium or low period of the day model, scaled so that scale×peak
+// matches the NPU's media bandwidth regime (the paper drives an IXP1200
+// near 1 Gbps aggregate; the Figure 2 edge router peaks at 250 Mbps, so the
+// simulation inputs are scaled up). seed disambiguates independent runs.
+func (m *DayModel) SampleLevel(level Level, scale float64, seed int64) (Config, error) {
+	if err := m.validate(); err != nil {
+		return Config{}, err
+	}
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("traffic: non-positive scale %v", scale)
+	}
+	var hour float64
+	switch level {
+	case LevelHigh:
+		hour = m.PeakHour
+	case LevelMedium:
+		hour = m.PeakHour - 4.5
+	case LevelLow:
+		hour = m.PeakHour + 12 // overnight
+	default:
+		return Config{}, fmt.Errorf("traffic: unknown level %v", level)
+	}
+	return Config{
+		MeanMbps: m.SmoothRate(hour) * scale,
+		Seed:     seed,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nepdvs/internal/sim"
+)
+
+// WritePackets streams packets to w in a simple text format, one packet per
+// line: "arrival_ps size_bytes port". IDs are implicit (line order).
+func WritePackets(w io.Writer, pkts []Packet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival_ps size_bytes port"); err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", int64(p.Arrival), p.Size, p.Port); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPackets parses the text packet format. Packets must be in
+// non-decreasing arrival order; IDs are assigned sequentially.
+func ReadPackets(r io.Reader) ([]Packet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Packet
+	lineNo := 0
+	var last sim.Time
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("traffic: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("traffic: line %d: bad arrival %q", lineNo, fields[0])
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil || size <= 0 || size > 65535 {
+			return nil, fmt.Errorf("traffic: line %d: bad size %q", lineNo, fields[1])
+		}
+		port, err := strconv.Atoi(fields[2])
+		if err != nil || port < 0 {
+			return nil, fmt.Errorf("traffic: line %d: bad port %q", lineNo, fields[2])
+		}
+		if sim.Time(at) < last {
+			return nil, fmt.Errorf("traffic: line %d: arrivals out of order (%d after %d)", lineNo, at, int64(last))
+		}
+		last = sim.Time(at)
+		out = append(out, Packet{ID: uint64(len(out)), Arrival: sim.Time(at), Size: size, Port: port})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
