@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the full verification gate the CI
+# workflow runs: vet plus the race-enabled test suite.
+
+GO ?= go
+
+.PHONY: build vet test race check bench bench-obs
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The suite is race-clean; -race is the acceptance mode for the concurrent
+# metrics registry and the parallel sweep engine.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Like bench, but also aggregates per-run metrics into BENCH_obs.json.
+bench-obs:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' -benchobs BENCH_obs.json .

@@ -9,13 +9,44 @@ package nepdvs
 
 import (
 	"flag"
+	"fmt"
+	"os"
 	"testing"
 
 	"nepdvs/internal/experiments"
+	"nepdvs/internal/obs"
 	"nepdvs/internal/workload"
 )
 
-var benchCycles = flag.Int64("benchcycles", 400_000, "reference cycles per simulation in benchmarks")
+var (
+	benchCycles = flag.Int64("benchcycles", 400_000, "reference cycles per simulation in benchmarks")
+	benchObs    = flag.String("benchobs", "", "aggregate per-run metrics across all benchmarks into this JSON file (e.g. BENCH_obs.json)")
+)
+
+// TestMain exists only for -benchobs: when set, every simulation run in the
+// package (benchmarks and tests alike) reports into one metrics registry,
+// snapshotted to the given file after the run — run counts, failures and
+// the wall-time histogram.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	var reg *obs.Registry
+	remove := func() {}
+	if *benchObs != "" {
+		reg = obs.NewRegistry()
+		remove = experiments.ObserveRuns(reg, nil)
+	}
+	code := m.Run()
+	if reg != nil {
+		remove()
+		if err := reg.Snapshot().WriteJSONFile(*benchObs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchobs:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 func opts() experiments.Options {
 	return experiments.Options{Cycles: *benchCycles, Parallelism: 8, Seed: 1}

@@ -2,11 +2,17 @@
 // ablations beyond it). With no arguments it runs everything; otherwise the
 // arguments name experiments (see -list).
 //
+// While running it shows a live progress line on stderr (suppressed when
+// stderr is not a terminal, or with -quiet) with runs completed and an ETA
+// estimated from finished runs. With -metrics it writes aggregate run
+// metrics (metrics.json and metrics.prom) into the given directory, and
+// whenever results are written a manifest.json lands next to them.
+//
 // Examples:
 //
 //	dvsexplore -list
 //	dvsexplore fig6 fig7
-//	dvsexplore -cycles 2000000 -outdir results all
+//	dvsexplore -cycles 2000000 -outdir results -metrics results all
 package main
 
 import (
@@ -16,16 +22,22 @@ import (
 	"path/filepath"
 	"time"
 
+	"nepdvs/internal/cli"
 	"nepdvs/internal/experiments"
+	"nepdvs/internal/obs"
 )
 
 func main() {
 	var (
-		cycles = flag.Int64("cycles", 8_000_000, "reference cycles per simulation run")
-		par    = flag.Int("par", 8, "parallel simulations")
-		seed   = flag.Int64("seed", 1, "traffic seed")
-		outdir = flag.String("outdir", "", "write each report to <outdir>/<id>.dat instead of stdout")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		cycles     = flag.Int64("cycles", 8_000_000, "reference cycles per simulation run")
+		par        = flag.Int("par", 8, "parallel simulations")
+		seed       = flag.Int64("seed", 1, "traffic seed")
+		outdir     = flag.String("outdir", "", "write each report to <outdir>/<id>.dat instead of stdout")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		metricsDir = flag.String("metrics", "", "write metrics.json and metrics.prom into this directory")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *list {
@@ -34,19 +46,37 @@ func main() {
 		}
 		return
 	}
-	if err := run(*cycles, *par, *seed, *outdir, flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "dvsexplore:", err)
-		os.Exit(1)
+	if err := run(*cycles, *par, *seed, *outdir, *metricsDir, *quiet,
+		*cpuprofile, *memprofile, flag.Args()); err != nil {
+		cli.Die("dvsexplore", err)
 	}
 }
 
-func run(cycles int64, par int, seed int64, outdir string, args []string) error {
-	o := experiments.Options{Cycles: cycles, Parallelism: par, Seed: seed}
-	var reports []experiments.Report
+func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet bool,
+	cpuprofile, memprofile string, args []string) error {
+
 	start := time.Now()
-	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+	prof, err := obs.StartProfiles(cpuprofile, memprofile)
+	if err != nil {
+		return err
+	}
+	defer prof.Stop()
+
+	o := experiments.Options{Cycles: cycles, Parallelism: par, Seed: seed}
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress(os.Stderr, "runs", experiments.PlannedRuns(args),
+		obs.StderrIsTerminal() && !quiet)
+	remove := experiments.ObserveRuns(reg, func(wall time.Duration, failed bool) {
+		prog.RunDone(failed)
+	})
+	defer remove()
+
+	var reports []experiments.Report
+	runAll := len(args) == 0 || (len(args) == 1 && args[0] == "all")
+	if runAll {
 		rs, err := experiments.RunAll(o)
 		if err != nil {
+			prog.Finish()
 			return err
 		}
 		reports = rs
@@ -54,11 +84,15 @@ func run(cycles int64, par int, seed int64, outdir string, args []string) error 
 		for _, id := range args {
 			rs, err := experiments.Run(id, o)
 			if err != nil {
+				prog.Finish()
 				return err
 			}
 			reports = append(reports, rs...)
 		}
 	}
+	prog.Finish()
+
+	var outputs []string
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
 			return err
@@ -69,12 +103,14 @@ func run(cycles int64, par int, seed int64, outdir string, args []string) error 
 			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 				return err
 			}
+			outputs = append(outputs, path)
 			fmt.Printf("wrote %s (%s)\n", path, r.Title)
 			for _, ch := range r.Charts {
 				svgPath := filepath.Join(outdir, ch.Name+".svg")
 				if err := os.WriteFile(svgPath, []byte(ch.SVG), 0o644); err != nil {
 					return err
 				}
+				outputs = append(outputs, svgPath)
 				fmt.Printf("wrote %s\n", svgPath)
 			}
 		}
@@ -83,6 +119,58 @@ func run(cycles int64, par int, seed int64, outdir string, args []string) error 
 			fmt.Println(r)
 		}
 	}
+
+	snap := reg.Snapshot()
+	if metricsDir != "" {
+		if err := os.MkdirAll(metricsDir, 0o755); err != nil {
+			return err
+		}
+		jsonPath := filepath.Join(metricsDir, "metrics.json")
+		if err := snap.WriteJSONFile(jsonPath); err != nil {
+			return err
+		}
+		outputs = append(outputs, jsonPath)
+		promPath := filepath.Join(metricsDir, "metrics.prom")
+		f, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		outputs = append(outputs, promPath)
+	}
+
+	// A manifest accompanies any invocation that wrote results: into the
+	// report directory when there is one, else the metrics directory.
+	manifestDir := outdir
+	if manifestDir == "" {
+		manifestDir = metricsDir
+	}
+	if manifestDir != "" {
+		ids := args
+		if runAll {
+			ids = []string{"all"}
+		}
+		m := obs.NewManifest("dvsexplore", os.Args[1:])
+		m.Config = struct {
+			Options     experiments.Options `json:"options"`
+			Experiments []string            `json:"experiments"`
+		}{o, ids}
+		m.Seed = seed
+		m.Cycles = cycles
+		m.Outputs = outputs
+		m.Metrics = &snap
+		m.SetWall(time.Since(start))
+		if err := m.WriteFile(filepath.Join(manifestDir, "manifest.json")); err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "dvsexplore: %d reports in %v\n", len(reports), time.Since(start).Round(time.Millisecond))
-	return nil
+	return prof.Stop()
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
 	"nepdvs/internal/loc"
 )
@@ -28,8 +29,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*expr, *file, *name, *out, *noSchema); err != nil {
-		fmt.Fprintln(os.Stderr, "locgen:", err)
-		os.Exit(1)
+		cli.Die("locgen", err)
 	}
 }
 

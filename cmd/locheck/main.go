@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
 	"nepdvs/internal/loc"
 	"nepdvs/internal/trace"
@@ -32,8 +33,7 @@ func main() {
 	flag.Parse()
 	code, err := run(*expr, *file, *noSchema, flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "locheck:", err)
-		os.Exit(2)
+		cli.DieUsage("locheck", err)
 	}
 	os.Exit(code)
 }

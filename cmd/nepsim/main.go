@@ -1,70 +1,109 @@
 // Command nepsim runs one NPU simulation — a benchmark under a traffic load
 // with an optional DVS policy — and reports statistics, optionally writing
-// the event trace for offline LOC analysis.
+// the event trace for offline LOC analysis, a metrics snapshot, and a run
+// manifest.
 //
 // Examples:
 //
 //	nepsim -bench ipfwdr -level high -cycles 8000000 -trace run.trc
 //	nepsim -bench nat -mbps 600 -policy tdvs -threshold 1000 -window 40000
 //	nepsim -bench md4 -level medium -policy edvs -window 40000 -idle 0.10
+//	nepsim -bench nat -policy tdvs -metrics m.json
+//
+// Metrics snapshots derive only from simulation state: two identical
+// invocations write byte-identical -metrics files. A file ending in .prom
+// is written in Prometheus text format instead of JSON. Whenever results
+// are written, a manifest (<output>.manifest.json by default) records the
+// full configuration, seed, metrics and environment; -manifest overrides
+// the path and -manifest off disables it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
+	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
+	"nepdvs/internal/obs"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
 
+// options collects every flag; run receives it whole.
+type options struct {
+	bench, level   string
+	mbps           float64
+	cycles, seed   int64
+	policy         string
+	threshold      float64
+	window         int64
+	idleFrac, hyst float64
+	tracePath      string
+	binary         bool
+	formulas       string
+	pipeline       bool
+	packets        string
+	metrics        string
+	manifest       string
+	cpuprofile     string
+	memprofile     string
+}
+
 func main() {
-	var (
-		bench     = flag.String("bench", "ipfwdr", "benchmark: ipfwdr, url, nat or md4")
-		level     = flag.String("level", "high", "traffic level: low, medium or high")
-		mbps      = flag.Float64("mbps", 0, "override offered load in Mbps (0 = use -level)")
-		cycles    = flag.Int64("cycles", 8_000_000, "run length in 600 MHz reference cycles")
-		seed      = flag.Int64("seed", 1, "traffic seed")
-		policy    = flag.String("policy", "nodvs", "DVS policy: nodvs, tdvs, edvs, combined or oracle")
-		threshold = flag.Float64("threshold", 1000, "TDVS top threshold in Mbps")
-		window    = flag.Int64("window", 40000, "DVS monitor window in reference cycles")
-		idleFrac  = flag.Float64("idle", 0.10, "EDVS idle threshold fraction")
-		hyst      = flag.Float64("hysteresis", 0, "TDVS hysteresis band (ablation)")
-		tracePath = flag.String("trace", "", "write the event trace to this file")
-		binary    = flag.Bool("binary", false, "write the trace in binary format")
-		formulas  = flag.String("formulas", "", "LOC formulas to evaluate live (file path)")
-		pipeline  = flag.Bool("pipeline", false, "emit per-batch pipeline events (large traces)")
-		packets   = flag.String("packets", "", "replay packet arrivals from a trafficgen file instead of generating")
-	)
+	var o options
+	flag.StringVar(&o.bench, "bench", "ipfwdr", "benchmark: ipfwdr, url, nat or md4")
+	flag.StringVar(&o.level, "level", "high", "traffic level: low, medium or high")
+	flag.Float64Var(&o.mbps, "mbps", 0, "override offered load in Mbps (0 = use -level)")
+	flag.Int64Var(&o.cycles, "cycles", 8_000_000, "run length in 600 MHz reference cycles")
+	flag.Int64Var(&o.seed, "seed", 1, "traffic seed")
+	flag.StringVar(&o.policy, "policy", "nodvs", "DVS policy: nodvs, tdvs, edvs, combined or oracle")
+	flag.Float64Var(&o.threshold, "threshold", 1000, "TDVS top threshold in Mbps")
+	flag.Int64Var(&o.window, "window", 40000, "DVS monitor window in reference cycles")
+	flag.Float64Var(&o.idleFrac, "idle", 0.10, "EDVS idle threshold fraction")
+	flag.Float64Var(&o.hyst, "hysteresis", 0, "TDVS hysteresis band (ablation)")
+	flag.StringVar(&o.tracePath, "trace", "", "write the event trace to this file")
+	flag.BoolVar(&o.binary, "binary", false, "write the trace in binary format")
+	flag.StringVar(&o.formulas, "formulas", "", "LOC formulas to evaluate live (file path)")
+	flag.BoolVar(&o.pipeline, "pipeline", false, "emit per-batch pipeline events (large traces)")
+	flag.StringVar(&o.packets, "packets", "", "replay packet arrivals from a trafficgen file instead of generating")
+	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, else JSON)")
+	flag.StringVar(&o.manifest, "manifest", "", `run manifest path ("" = derive from outputs, "off" = disable)`)
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
-	if err := run(*bench, *level, *mbps, *cycles, *seed, *policy, *threshold, *window,
-		*idleFrac, *hyst, *tracePath, *binary, *formulas, *pipeline, *packets); err != nil {
-		fmt.Fprintln(os.Stderr, "nepsim:", err)
-		os.Exit(1)
+	if err := run(o, os.Args[1:]); err != nil {
+		cli.Die("nepsim", err)
 	}
 }
 
-func run(bench, level string, mbps float64, cycles, seed int64, policy string,
-	threshold float64, window int64, idleFrac, hyst float64,
-	tracePath string, binary bool, formulaPath string, pipeline bool, packetPath string) error {
+func run(o options, rawArgs []string) error {
+	start := time.Now()
+	prof, err := obs.StartProfiles(o.cpuprofile, o.memprofile)
+	if err != nil {
+		return err
+	}
+	defer prof.Stop()
 
-	lv, err := traffic.ParseLevel(level)
+	lv, err := traffic.ParseLevel(o.level)
 	if err != nil {
 		return err
 	}
-	cfg, err := core.DefaultRunConfig(workload.Name(bench), lv, seed)
+	cfg, err := core.DefaultRunConfig(workload.Name(o.bench), lv, o.seed)
 	if err != nil {
 		return err
 	}
-	cfg.Cycles = cycles
-	cfg.Chip.EmitPipeline = pipeline
-	if mbps > 0 {
-		cfg.Traffic = traffic.Config{MeanMbps: mbps, Seed: seed}
+	cfg.Cycles = o.cycles
+	cfg.Chip.EmitPipeline = o.pipeline
+	if o.mbps > 0 {
+		cfg.Traffic = traffic.Config{MeanMbps: o.mbps, Seed: o.seed}
 	}
-	if packetPath != "" {
-		f, err := os.Open(packetPath)
+	if o.packets != "" {
+		f, err := os.Open(o.packets)
 		if err != nil {
 			return err
 		}
@@ -74,37 +113,44 @@ func run(bench, level string, mbps float64, cycles, seed int64, policy string,
 			return err
 		}
 		cfg.Packets = pkts
+		cfg.PacketCount = len(pkts)
 	}
-	switch policy {
+	switch o.policy {
 	case "nodvs":
 		cfg.Policy = core.PolicyConfig{Kind: core.NoDVS}
 	case "tdvs":
-		cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: threshold, WindowCycles: window, Hysteresis: hyst}
+		cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: o.threshold, WindowCycles: o.window, Hysteresis: o.hyst}
 	case "edvs":
-		cfg.Policy = core.PolicyConfig{Kind: core.EDVS, WindowCycles: window, IdleFrac: idleFrac}
+		cfg.Policy = core.PolicyConfig{Kind: core.EDVS, WindowCycles: o.window, IdleFrac: o.idleFrac}
 	case "combined":
-		cfg.Policy = core.PolicyConfig{Kind: core.CombinedDVS, TopThresholdMbps: threshold, WindowCycles: window, IdleFrac: idleFrac}
+		cfg.Policy = core.PolicyConfig{Kind: core.CombinedDVS, TopThresholdMbps: o.threshold, WindowCycles: o.window, IdleFrac: o.idleFrac}
 	case "oracle":
-		cfg.Policy = core.PolicyConfig{Kind: core.OracleDVS, TopThresholdMbps: threshold, WindowCycles: window}
+		cfg.Policy = core.PolicyConfig{Kind: core.OracleDVS, TopThresholdMbps: o.threshold, WindowCycles: o.window}
 	default:
-		return fmt.Errorf("unknown policy %q (want nodvs, tdvs, edvs, combined or oracle)", policy)
+		return fmt.Errorf("unknown policy %q (want nodvs, tdvs, edvs, combined or oracle)", o.policy)
 	}
-	if formulaPath != "" {
-		src, err := os.ReadFile(formulaPath)
+	if o.formulas != "" {
+		src, err := os.ReadFile(o.formulas)
 		if err != nil {
 			return err
 		}
 		cfg.Formulas = string(src)
 	}
 
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+
 	var closer interface{ Close() error }
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if binary {
+		if o.binary {
 			w := trace.NewBinaryWriter(f)
 			cfg.ExtraSink = w
 			closer = w
@@ -125,6 +171,77 @@ func run(bench, level string, mbps float64, cycles, seed int64, policy string,
 		}
 	}
 
+	printStats(o.bench, res)
+
+	var outputs []string
+	if o.tracePath != "" {
+		outputs = append(outputs, o.tracePath)
+	}
+	var snap *obs.Snapshot
+	if reg != nil {
+		s := reg.Snapshot()
+		snap = &s
+		if err := writeMetrics(o.metrics, s); err != nil {
+			return err
+		}
+		outputs = append(outputs, o.metrics)
+	}
+
+	if path := manifestPath(o, outputs); path != "" {
+		m := obs.NewManifest("nepsim", rawArgs)
+		m.Config = res.Config
+		m.Seed = o.seed
+		m.Cycles = o.cycles
+		m.Outputs = outputs
+		m.Metrics = snap
+		m.SetWall(time.Since(start))
+		if err := m.WriteFile(path); err != nil {
+			return err
+		}
+	}
+	return prof.Stop()
+}
+
+// writeMetrics serializes a snapshot, choosing Prometheus text format for
+// .prom paths and JSON otherwise.
+func writeMetrics(path string, s obs.Snapshot) error {
+	if filepath.Ext(path) == ".prom" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return s.WriteJSONFile(path)
+}
+
+// manifestPath resolves the -manifest flag: "off" disables, an explicit
+// path wins, and otherwise a manifest is derived from the first results
+// file — no results, no manifest.
+func manifestPath(o options, outputs []string) string {
+	switch {
+	case o.manifest == "off":
+		return ""
+	case o.manifest != "":
+		return o.manifest
+	case o.metrics != "":
+		return deriveManifest(o.metrics)
+	case o.tracePath != "":
+		return deriveManifest(o.tracePath)
+	}
+	return ""
+}
+
+// deriveManifest turns results path "m.json" into "m.manifest.json".
+func deriveManifest(out string) string {
+	return strings.TrimSuffix(out, filepath.Ext(out)) + ".manifest.json"
+}
+
+func printStats(bench string, res *core.RunResult) {
 	st := res.Stats
 	fmt.Printf("benchmark      %s\n", bench)
 	fmt.Printf("policy         %s\n", res.Config.Policy.Kind)
@@ -147,5 +264,4 @@ func run(bench, level string, mbps float64, cycles, seed int64, policy string,
 		fmt.Println()
 		fmt.Print(lr.Summary())
 	}
-	return nil
 }

@@ -12,13 +12,13 @@ import (
 	"fmt"
 	"os"
 
+	"nepdvs/internal/cli"
 	"nepdvs/internal/trace"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "tracestat:", err)
-		os.Exit(1)
+		cli.Die("tracestat", err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"nepdvs/internal/cli"
 	"nepdvs/internal/sim"
 	"nepdvs/internal/traffic"
 )
@@ -29,8 +30,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*mbps, *level, *ms, *seed, *out, *day); err != nil {
-		fmt.Fprintln(os.Stderr, "trafficgen:", err)
-		os.Exit(1)
+		cli.Die("trafficgen", err)
 	}
 }
 

@@ -1,0 +1,31 @@
+// Package cli centralizes the exit conventions shared by the nepdvs
+// command-line tools. Every fatal message is printed to stderr prefixed
+// with the tool name, and exit status is uniform across tools: 1 for
+// runtime failures, 2 for usage and bad-input errors — the same status the
+// flag package uses for parse failures, so "anything 2 is your invocation,
+// anything 1 is the run" holds for the whole tool suite.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Indirections for tests: exiting and the stderr stream.
+var (
+	exit             = os.Exit
+	stderr io.Writer = os.Stderr
+)
+
+// Die reports a runtime failure ("<tool>: <err>") and exits 1.
+func Die(tool string, err error) { fail(tool, err, 1) }
+
+// DieUsage reports a usage or input error and exits 2, matching
+// flag.ExitOnError's status for parse failures.
+func DieUsage(tool string, err error) { fail(tool, err, 2) }
+
+func fail(tool string, err error, code int) {
+	fmt.Fprintf(stderr, "%s: %v\n", tool, err)
+	exit(code)
+}

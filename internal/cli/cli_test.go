@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// capture swaps the package's exit and stderr hooks for the duration of a
+// test and records what Die/DieUsage did with them.
+func capture(t *testing.T, f func()) (msg string, code int) {
+	t.Helper()
+	var buf strings.Builder
+	code = -1
+	oldExit, oldStderr := exit, stderr
+	exit = func(c int) { code = c }
+	stderr = &buf
+	defer func() { exit, stderr = oldExit, oldStderr }()
+	f()
+	return buf.String(), code
+}
+
+func TestDie(t *testing.T) {
+	msg, code := capture(t, func() { Die("nepsim", errors.New("boom")) })
+	if code != 1 {
+		t.Errorf("Die exit = %d, want 1", code)
+	}
+	if msg != "nepsim: boom\n" {
+		t.Errorf("Die message = %q", msg)
+	}
+}
+
+func TestDieUsage(t *testing.T) {
+	msg, code := capture(t, func() { DieUsage("locheck", errors.New("use -e or -f")) })
+	if code != 2 {
+		t.Errorf("DieUsage exit = %d, want 2", code)
+	}
+	if !strings.HasPrefix(msg, "locheck: ") {
+		t.Errorf("DieUsage message = %q", msg)
+	}
+}

@@ -14,10 +14,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"nepdvs/internal/dvs"
 	"nepdvs/internal/loc"
 	"nepdvs/internal/npu"
+	"nepdvs/internal/obs"
 	"nepdvs/internal/sim"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
@@ -81,14 +83,24 @@ type RunConfig struct {
 	Policy PolicyConfig
 	// Packets, when non-nil, replaces the generated traffic with an
 	// explicit arrival schedule (e.g. one loaded from a trafficgen file);
-	// the Traffic config is then ignored.
-	Packets []traffic.Packet
+	// the Traffic config is then ignored. Excluded from JSON so that run
+	// manifests stay small; PacketCount records the schedule size instead.
+	Packets []traffic.Packet `json:"-"`
+	// PacketCount mirrors len(Packets) for manifest serialization. It is
+	// informational only and ignored by Run.
+	PacketCount int `json:",omitempty"`
 	// Formulas is LOC source text evaluated live against the trace
 	// (multiple formulas separated by semicolons, optionally named).
 	Formulas string
 	// ExtraSink, when non-nil, additionally receives every trace event
-	// (e.g. a file writer).
-	ExtraSink trace.Sink
+	// (e.g. a file writer). Not part of the serializable config.
+	ExtraSink trace.Sink `json:"-"`
+	// Metrics, when non-nil, receives the run's observability counters
+	// (kernel, chip and DVS controller) after the run completes. All
+	// published values derive from simulation state only, so a registry fed
+	// by one run snapshots byte-identically across same-config runs. A
+	// shared registry is safe: it accumulates across concurrent sweep runs.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // DefaultRunConfig assembles the paper's experimental setup for a benchmark
@@ -181,7 +193,11 @@ func TraceSchema() map[string]bool {
 }
 
 // Run executes one simulation run to completion.
-func Run(cfg RunConfig) (*RunResult, error) {
+func Run(cfg RunConfig) (res *RunResult, err error) {
+	if h := loadRunHook(); h != nil {
+		start := time.Now()
+		defer func() { h(time.Since(start), err) }()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -311,7 +327,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	res := &RunResult{
+	res = &RunResult{
 		Config:          cfg,
 		Stats:           chip.Snapshot(),
 		MonitorFraction: chip.Meter().MonitorFraction(),
@@ -326,6 +342,13 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if policyStats != nil {
 		st := policyStats()
 		res.DVSStats = &st
+	}
+	if cfg.Metrics != nil {
+		k.PublishMetrics(cfg.Metrics)
+		chip.PublishMetrics(cfg.Metrics)
+		if res.DVSStats != nil {
+			res.DVSStats.Publish(cfg.Metrics, "dvs")
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,19 @@
+package dvs
+
+import (
+	"fmt"
+
+	"nepdvs/internal/obs"
+)
+
+// Publish exports controller statistics under the given prefix (e.g.
+// "dvs_tdvs"): monitor windows evaluated, VF transitions commanded, and the
+// window count spent at each ladder level — the policy-side view of where
+// the chip's time (and therefore energy) went.
+func (s Stats) Publish(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + "_windows").Add(s.Windows)
+	reg.Counter(prefix + "_transitions").Add(s.Transitions)
+	for level, n := range s.TimeAtLevel {
+		reg.Counter(fmt.Sprintf("%s_windows_at_level%d", prefix, level)).Add(n)
+	}
+}

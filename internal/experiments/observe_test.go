@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/obs"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+// The run-count table must track the registry exactly: a new experiment
+// without a planned count would silently break progress totals.
+func TestRunCountsCoverRegistry(t *testing.T) {
+	for id := range Registry {
+		if _, ok := runCounts[id]; !ok {
+			t.Errorf("experiment %q missing from runCounts", id)
+		}
+	}
+	for id := range runCounts {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("runCounts entry %q not in Registry", id)
+		}
+	}
+}
+
+func TestPlannedRuns(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 175},
+		{[]string{"all"}, 175},
+		{[]string{"fig10"}, 5},
+		{[]string{"fig6", "fig7"}, 2 * sweepRuns}, // standalone figs re-run the sweep
+		{[]string{"fig1", "idle", "summary"}, 0 + 1 + 48},
+		{[]string{"no-such-experiment"}, 0},
+	}
+	for _, c := range cases {
+		if got := PlannedRuns(c.args); got != c.want {
+			t.Errorf("PlannedRuns(%v) = %d, want %d", c.args, got, c.want)
+		}
+	}
+}
+
+func TestObserveRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	var calls int
+	var sawFailed bool
+	remove := ObserveRuns(reg, func(wall time.Duration, failed bool) {
+		calls++
+		if failed {
+			sawFailed = true
+		}
+	})
+	defer remove()
+
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelLow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = 100_000
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := cfg
+	bad.Cycles = 0
+	if _, err := core.Run(bad); err == nil {
+		t.Fatal("invalid config unexpectedly ran")
+	}
+
+	if calls != 2 || !sawFailed {
+		t.Fatalf("hook saw %d calls (failed seen: %v), want 2 with one failure", calls, sawFailed)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["experiments_runs_completed"]; got != 1 {
+		t.Errorf("runs_completed = %d, want 1", got)
+	}
+	if got := snap.Counters["experiments_runs_failed"]; got != 1 {
+		t.Errorf("runs_failed = %d, want 1", got)
+	}
+	if h, ok := snap.Histograms["experiments_run_wall_ms"]; !ok || h.Count != 2 {
+		t.Errorf("wall histogram = %+v, want 2 observations", h)
+	}
+
+	remove()
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("hook fired after removal: %d calls", calls)
+	}
+}

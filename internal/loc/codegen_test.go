@@ -117,6 +117,61 @@ func TestGeneratedCheckerRuns(t *testing.T) {
 	}
 }
 
+// TestGeneratedCheckerExitStatus feeds a generated analyzer malformed
+// traces and asserts it dies with status 2 — a malformed trace must never
+// be reported as a pass (exit 0) or be confused with an assertion
+// violation (exit 1). Skipped in -short mode (shells out to `go run`).
+func TestGeneratedCheckerExitStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("requires go toolchain run")
+	}
+	dir := t.TempDir()
+	src, err := GenerateGo(MustParse("cycle(deq[i]) - cycle(enq[i]) <= 50"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainPath := filepath.Join(dir, "checker.go")
+	if err := os.WriteFile(mainPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Build a real binary: `go run` collapses every child status to its own
+	// exit 1, hiding the code under test.
+	binPath := filepath.Join(dir, "checker")
+	build := exec.Command("go", "build", "-o", binPath, mainPath)
+	build.Dir = dir
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cases := []struct {
+		name, input string
+	}{
+		{"too-few-fields", "1 2 3\n"},
+		{"bad-number", "x 2 3 4 5 enq\n"},
+		{"bad-extra", "1 2 3 4 5 enq junk\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tracePath := filepath.Join(dir, c.name+".txt")
+			if err := os.WriteFile(tracePath, []byte(c.input), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.Command(binPath, tracePath).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("run = %v, want exit error; output:\n%s", err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("exit = %d, want 2; output:\n%s", code, out)
+			}
+		})
+	}
+	// A missing trace file is also status 2.
+	out, err := exec.Command(binPath, filepath.Join(dir, "nope.txt")).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("missing file: %v, want exit 2; output:\n%s", err, out)
+	}
+}
+
 // TestGeneratedDistMatchesRunner compares a generated distribution
 // analyzer's table against the in-process runner bin by bin.
 func TestGeneratedDistMatchesRunner(t *testing.T) {

@@ -70,6 +70,8 @@ type ME struct {
 	memRefs     uint64
 	vfChanges   uint64
 	pollCycles  uint64
+	ctxBlocks   uint64   // context-blocking events (memory, unit or transmit)
+	stallCycles uint64   // cycles paid to DVS transition penalties
 	busyTime    sim.Time // time spent issuing instructions
 	haltedCount int
 }
@@ -114,6 +116,17 @@ func (me *ME) MemRefs() uint64 { return me.memRefs }
 // VFChanges returns the number of DVS transitions applied to this ME.
 func (me *ME) VFChanges() uint64 { return me.vfChanges }
 
+// CtxBlocks returns how many times one of this ME's contexts blocked on a
+// memory reference, fixed-latency unit or the transmit path.
+func (me *ME) CtxBlocks() uint64 { return me.ctxBlocks }
+
+// StallCycles returns the cumulative cycles paid to DVS transition
+// penalties, counted at the post-transition clock.
+func (me *ME) StallCycles() uint64 { return me.stallCycles }
+
+// PollCycles returns how many rx.pop polls this ME issued.
+func (me *ME) PollCycles() uint64 { return me.pollCycles }
+
 // setVF applies a DVS transition: the ME stalls for the configured penalty
 // and resumes at the new operating point.
 func (me *ME) setVF(vf power.VF) {
@@ -137,6 +150,7 @@ func (me *ME) setVF(vf power.VF) {
 		me.stallUntil = until
 	}
 	stallCycles := sim.NewClock(vf.MHz).CyclesIn(penalty)
+	me.stallCycles += uint64(stallCycles)
 	me.chip.meter.StallCycles(stallCycles, vf)
 	me.chip.emitVFChange(me.idx, vf)
 	// Ensure execution resumes after the stall even if everything was
@@ -462,6 +476,7 @@ func (me *ME) issueMem(issueAt sim.Time, mc *memController, addr, words int64, w
 	me.ctxs[ci].state = ctxBlocked
 	me.ctxs[ci].reason = blockMemory
 	me.memRefs++
+	me.ctxBlocks++
 	me.chip.chargeMem(unit, words)
 	me.chip.k.Schedule(issueAt, func() {
 		mc.request(memRequest{addr: addr, words: words, write: write, done: func() { me.wake(ci) }})
@@ -474,6 +489,7 @@ func (me *ME) blockOn(issueAt sim.Time, latency sim.Time, words int64, unit memU
 	me.ctxs[ci].state = ctxBlocked
 	me.ctxs[ci].reason = blockMemory
 	me.memRefs++
+	me.ctxBlocks++
 	if words > 0 {
 		me.chip.chargeMem(unit, words)
 	}
@@ -486,6 +502,7 @@ func (me *ME) blockForSend(issueAt sim.Time, handle int64) {
 	ci := me.cur
 	me.ctxs[ci].state = ctxBlocked
 	me.ctxs[ci].reason = blockTransmit
+	me.ctxBlocks++
 	me.chip.k.Schedule(issueAt, func() {
 		me.chip.sendPacket(handle, me.idx, func() { me.wake(ci) })
 	})

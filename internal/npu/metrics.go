@@ -1,0 +1,53 @@
+package npu
+
+import (
+	"fmt"
+
+	"nepdvs/internal/obs"
+)
+
+// PublishMetrics exports the chip's counters — packet path, per-ME
+// execution state, memory controller queues and DVS stall costs — into a
+// metrics registry. Values derive only from simulation state, so snapshots
+// after identical runs are byte-stable.
+func (c *Chip) PublishMetrics(reg *obs.Registry) {
+	reg.Counter("npu_pkts_arrived").Add(c.pktsArrived)
+	reg.Counter("npu_pkts_queued").Add(c.pktsQueued)
+	reg.Counter("npu_pkts_dropped").Add(c.pktsDropped)
+	reg.Counter("npu_pkts_sent").Add(c.pktsSent)
+	reg.Counter("npu_bits_arrived").Add(c.bitsArrived)
+	reg.Counter("npu_bits_sent").Add(c.bitsSent)
+	reg.Gauge("npu_rfifo_high_water").SetMax(float64(c.fifoHighWater))
+
+	publishMem(reg, "npu_sram", c.sram)
+	publishMem(reg, "npu_sdram", c.sdram)
+	reg.Counter("npu_sdram_row_hits").Add(c.sdramTm.hits)
+	reg.Counter("npu_sdram_row_misses").Add(c.sdramTm.misses)
+
+	ref := c.ref
+	var stallCycles uint64
+	for i, me := range c.mes {
+		p := fmt.Sprintf("npu_me%d_", i)
+		reg.Counter(p + "instr_retired").Add(me.InstrCount())
+		reg.Counter(p + "mem_refs").Add(me.MemRefs())
+		reg.Counter(p + "ctx_blocks").Add(me.CtxBlocks())
+		reg.Counter(p + "vf_changes").Add(me.VFChanges())
+		reg.Counter(p + "poll_ops").Add(me.PollCycles())
+		reg.Counter(p + "stall_cycles").Add(me.StallCycles())
+		// Idle/busy/stall time expressed in reference-clock cycles keeps the
+		// numbers integral and clock-independent.
+		reg.Counter(p + "idle_cycles").Add(uint64(ref.CyclesIn(me.IdleTime())))
+		reg.Counter(p + "busy_cycles").Add(uint64(ref.CyclesIn(me.BusyTime())))
+		stallCycles += me.StallCycles()
+	}
+	reg.Counter("npu_stall_cycles_total").Add(stallCycles)
+}
+
+// publishMem exports one memory controller's queueing statistics.
+func publishMem(reg *obs.Registry, prefix string, mc *memController) {
+	requests, words, maxQueue := mc.stats()
+	reg.Counter(prefix + "_requests").Add(requests)
+	reg.Counter(prefix + "_words").Add(words)
+	reg.Gauge(prefix + "_queue_high_water").SetMax(float64(maxQueue))
+	reg.Counter(prefix + "_wait_ps").Add(uint64(mc.waitTotal))
+}

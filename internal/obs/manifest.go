@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest records everything needed to reproduce (and audit) one tool
+// invocation that wrote results: the full configuration, seed, run length,
+// a metrics snapshot, and the toolchain/environment facts. Writing one next
+// to every results file turns a results directory into a reproducible
+// artifact rather than a pile of unlabeled numbers.
+//
+// The Config block is deterministic for identical configurations; WallMS,
+// GoVersion and hostname-class fields are deliberately outside it so that
+// byte-comparing the config block across runs is meaningful.
+type Manifest struct {
+	// Tool is the command that produced the results (nepsim, dvsexplore).
+	Tool string `json:"tool"`
+	// Args is the raw command line after the program name.
+	Args []string `json:"args"`
+	// Config is the tool's fully resolved configuration (for nepsim, the
+	// core.RunConfig; for dvsexplore, its option set and experiment list).
+	Config any `json:"config"`
+	// Seed is the traffic seed of the run(s).
+	Seed int64 `json:"seed"`
+	// Cycles is the run length in reference cycles.
+	Cycles int64 `json:"cycles"`
+	// Outputs lists the result files this invocation wrote.
+	Outputs []string `json:"outputs,omitempty"`
+	// Metrics is the registry snapshot at completion.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// GOOS/GOARCH pin the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// WallMS is the invocation's wall-clock duration in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// NewManifest starts a manifest for the running tool, stamping the
+// toolchain facts.
+func NewManifest(tool string, args []string) *Manifest {
+	return &Manifest{
+		Tool:      tool,
+		Args:      args,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+}
+
+// SetWall records the invocation duration.
+func (m *Manifest) SetWall(d time.Duration) { m.WallMS = float64(d) / float64(time.Millisecond) }
+
+// WriteFile serializes the manifest as indented JSON at path.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile. Config is decoded
+// into generic JSON values.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// ConfigJSON renders just the manifest's config block as indented JSON —
+// the byte-comparable part of the manifest.
+func (m *Manifest) ConfigJSON() ([]byte, error) {
+	return json.MarshalIndent(m.Config, "", "  ")
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler manages the optional -cpuprofile/-memprofile outputs shared by
+// the CLIs. Start it after flag parsing; Stop it (usually via defer) before
+// exit so the CPU profile is flushed and the heap profile captures the
+// post-run live set.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// StartProfiles begins CPU profiling to cpuPath (when non-empty) and
+// arranges a heap profile at memPath (when non-empty) for Stop to write.
+func StartProfiles(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile. Safe to call
+// when neither was requested; returns the first error encountered.
+func (p *Profiler) Stop() error {
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			firstErr = err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("obs: mem profile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		p.memPath = ""
+	}
+	return firstErr
+}

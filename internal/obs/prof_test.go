@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilerWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_00; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s: %v", f, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+	// Stop is idempotent.
+	if err := p.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestProfilerNoop(t *testing.T) {
+	p, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Errorf("noop profiler Stop: %v", err)
+	}
+}

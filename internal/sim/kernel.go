@@ -104,7 +104,9 @@ type Kernel struct {
 	heap    eventHeap
 	stopped bool
 	// stats
-	dispatched uint64
+	dispatched    uint64
+	cancelled     uint64
+	heapHighWater int
 }
 
 // Now returns the current simulation time.
@@ -113,6 +115,18 @@ func (k *Kernel) Now() Time { return k.now }
 // Dispatched reports how many events have run, useful for progress and
 // regression tests.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// Scheduled reports how many events have ever been scheduled (fired,
+// pending or cancelled).
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
+// Cancelled reports how many scheduled events were cancelled before firing.
+func (k *Kernel) Cancelled() uint64 { return k.cancelled }
+
+// HeapHighWater reports the deepest the event queue has ever been — the
+// kernel's memory high-water mark, and the first number to look at when a
+// model floods the queue.
+func (k *Kernel) HeapHighWater() int { return k.heapHighWater }
 
 // Schedule runs fn at absolute time at. Scheduling in the past (before Now)
 // panics: it always indicates a model bug, and silently clamping it would
@@ -127,6 +141,9 @@ func (k *Kernel) Schedule(at Time, fn Handler) EventID {
 	ev := &event{at: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.heap, ev)
+	if len(k.heap) > k.heapHighWater {
+		k.heapHighWater = len(k.heap)
+	}
 	return EventID{ev}
 }
 
@@ -147,6 +164,7 @@ func (k *Kernel) Cancel(id EventID) bool {
 	}
 	ev.dead = true
 	heap.Remove(&k.heap, ev.index)
+	k.cancelled++
 	return true
 }
 

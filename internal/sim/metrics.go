@@ -1,0 +1,15 @@
+package sim
+
+import "nepdvs/internal/obs"
+
+// PublishMetrics exports the kernel's counters into a metrics registry.
+// Every value derives from simulation state only, so snapshots taken after
+// identical runs are identical.
+func (k *Kernel) PublishMetrics(reg *obs.Registry) {
+	reg.Counter("sim_events_scheduled").Add(k.Scheduled())
+	reg.Counter("sim_events_dispatched").Add(k.Dispatched())
+	reg.Counter("sim_events_cancelled").Add(k.Cancelled())
+	reg.Gauge("sim_heap_high_water").SetMax(float64(k.HeapHighWater()))
+	reg.Gauge("sim_heap_pending").Set(float64(k.Pending()))
+	reg.Gauge("sim_time_ps").Set(float64(k.Now()))
+}

@@ -61,6 +61,58 @@ func TestSummarizeSingleEvent(t *testing.T) {
 	}
 }
 
+// TestSummarizeTraceEndsMidWindow covers a trace cut off between forward
+// events: forwarding totals must come from the last forward event, while the
+// time/energy span extends to the true last event.
+func TestSummarizeTraceEndsMidWindow(t *testing.T) {
+	evs := []Event{
+		{Name: "fifo", Cycle: 100, Time: 1.0, Energy: 2.0},
+		{Name: "forward", Cycle: 200, Time: 2.0, Energy: 4.0, TotalPkt: 3, TotalBit: 960},
+		// The run was cut mid-window: trailing events carry no forward totals.
+		{Name: "fifo", Cycle: 300, Time: 3.0, Energy: 6.0},
+		{Name: "enq", Cycle: 350, Time: 3.5, Energy: 7.0},
+	}
+	s, err := Summarize(&SliceSource{Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalPkt != 3 || s.TotalBit != 960 {
+		t.Errorf("forward totals = %d pkts / %d bits, want 3 / 960", s.TotalPkt, s.TotalBit)
+	}
+	if s.LastCycle != 350 || s.LastUs != 3.5 {
+		t.Errorf("span end = cycle %d / %v us, want 350 / 3.5", s.LastCycle, s.LastUs)
+	}
+	// Rates use the full covered window (2.5 us), not the forward span.
+	if got := s.ForwardMbps(); got != 960/2.5 {
+		t.Errorf("mbps = %v, want %v", got, 960/2.5)
+	}
+	if got := s.AvgPowerW(); got != 2.0 {
+		t.Errorf("power = %v, want 2", got)
+	}
+}
+
+// TestSummarizeNoForwardEvents covers a trace where nothing was forwarded
+// (e.g. all packets dropped): rates are zero, span is still reported.
+func TestSummarizeNoForwardEvents(t *testing.T) {
+	evs := []Event{
+		{Name: "fifo", Cycle: 10, Time: 1.0, Energy: 1.0},
+		{Name: "drop", Cycle: 20, Time: 2.0, Energy: 3.0},
+	}
+	s, err := Summarize(&SliceSource{Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalPkt != 0 || s.TotalBit != 0 || s.ForwardMbps() != 0 {
+		t.Errorf("no-forward trace reported forwarding: %+v", s)
+	}
+	if s.DurationUs() != 1.0 || s.AvgPowerW() != 2.0 {
+		t.Errorf("span/power = %v us / %v W, want 1 / 2", s.DurationUs(), s.AvgPowerW())
+	}
+	if !strings.Contains(s.String(), "0 packets") {
+		t.Errorf("summary should render zero forwarding:\n%s", s)
+	}
+}
+
 func TestSummarizePropagatesSourceError(t *testing.T) {
 	r := NewTextReader(strings.NewReader("garbage line\n"))
 	if _, err := Summarize(r); err == nil {
