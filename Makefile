@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-obs
+.PHONY: build vet test race check fuzz bench bench-obs
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ race:
 	$(GO) test -race ./...
 
 check: vet race
+
+# Short fuzz smoke over the binary-trace parser and the LOC front end;
+# CI runs the same budget. Leave -fuzztime off for a real fuzzing session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzLOCLexer -fuzztime=$(FUZZTIME) ./internal/loc/
+	$(GO) test -fuzz=FuzzLOCParse -fuzztime=$(FUZZTIME) ./internal/loc/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

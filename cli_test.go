@@ -226,3 +226,119 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIRunTimeout: a run that cannot finish inside -run-timeout must die
+// with exit status 1 and a watchdog message instead of hanging forever.
+func TestCLIRunTimeout(t *testing.T) {
+	bins := buildTools(t)
+	// 2·10⁹ cycles would simulate for minutes; the 300 ms watchdog must
+	// cut it down.
+	out, err := runTool(t, filepath.Join(bins, "dvsexplore"),
+		"-quiet", "-cycles", "2000000000", "-run-timeout", "300ms", "idle")
+	if err == nil {
+		t.Fatalf("timed-out exploration exited 0:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want status 1\n%s", err, out)
+	}
+	if !strings.Contains(out, "watchdog") || !strings.Contains(out, "deadline") {
+		t.Errorf("no watchdog/deadline message in output:\n%s", out)
+	}
+}
+
+// TestCLIFaultInjection drives nepsim with fault plans: a hardware plan
+// perturbs the run and reports fault stats; an injected hang is caught by
+// -run-timeout; an injected panic is reported as an error, not a crash dump
+// from a dying process.
+func TestCLIFaultInjection(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	nepsim := filepath.Join(bins, "nepsim")
+
+	dropPlan := filepath.Join(work, "drop.json")
+	if err := os.WriteFile(dropPlan, []byte(`{
+		"Seed": 1,
+		"Faults": [{"Kind": "port_drop", "Unit": "port0", "OnsetCycle": 10000, "DurationCycles": 400000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, nepsim, "-bench", "ipfwdr", "-level", "high",
+		"-cycles", "600000", "-faults", dropPlan)
+	if err != nil {
+		t.Fatalf("nepsim with drop plan: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "faults") || !strings.Contains(out, "armed") {
+		t.Errorf("no fault stats in output:\n%s", out)
+	}
+
+	hangPlan := filepath.Join(work, "hang.json")
+	if err := os.WriteFile(hangPlan, []byte(`{
+		"Seed": 1,
+		"Faults": [{"Kind": "hang", "OnsetCycle": 10000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runTool(t, nepsim, "-bench", "ipfwdr", "-cycles", "600000",
+		"-faults", hangPlan, "-run-timeout", "300ms")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("hung nepsim exit = %v, want status 1\n%s", err, out)
+	}
+	if !strings.Contains(out, "watchdog") {
+		t.Errorf("no watchdog message:\n%s", out)
+	}
+
+	panicPlan := filepath.Join(work, "panic.json")
+	if err := os.WriteFile(panicPlan, []byte(`{
+		"Seed": 1,
+		"Faults": [{"Kind": "panic", "OnsetCycle": 10000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runTool(t, nepsim, "-bench", "ipfwdr", "-cycles", "600000",
+		"-faults", panicPlan)
+	ee, ok = err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("panicked nepsim exit = %v, want status 1\n%s", err, out)
+	}
+	if !strings.Contains(out, "run panicked") || strings.Contains(out, "goroutine ") {
+		t.Errorf("want a recovered-panic error, not a crash dump:\n%s", out)
+	}
+}
+
+// TestCLICheckpointResume: a second dvsexplore run against the same
+// checkpoint directory replays finished experiments instead of
+// re-simulating them.
+func TestCLICheckpointResume(t *testing.T) {
+	bins := buildTools(t)
+	ck := filepath.Join(t.TempDir(), "ck")
+	outdir := t.TempDir()
+	args := []string{"-quiet", "-cycles", "200000", "-checkpoint", ck,
+		"-outdir", outdir, "idle", "fig1"}
+
+	out, err := runTool(t, filepath.Join(bins, "dvsexplore"), args...)
+	if err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "resumed from checkpoint") {
+		t.Errorf("first run claims to have resumed:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(ck, "idle.json")); err != nil {
+		t.Error("no checkpoint entry for idle")
+	}
+
+	out, err = runTool(t, filepath.Join(bins, "dvsexplore"), args...)
+	if err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out)
+	}
+	for _, id := range []string{"idle", "fig1"} {
+		if !strings.Contains(out, id+" resumed from checkpoint") {
+			t.Errorf("%s was not resumed:\n%s", id, out)
+		}
+	}
+	// Results are still written on resume.
+	if _, err := os.Stat(filepath.Join(outdir, "idle.dat")); err != nil {
+		t.Error("resumed run wrote no idle.dat")
+	}
+}

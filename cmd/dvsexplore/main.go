@@ -8,11 +8,20 @@
 // metrics (metrics.json and metrics.prom) into the given directory, and
 // whenever results are written a manifest.json lands next to them.
 //
+// The exploration is resilient: a failing experiment is recorded (in the
+// manifest's failures list and the exit status) while the others complete,
+// -run-timeout bounds each simulation run with a wall-clock watchdog, and
+// -checkpoint makes the whole exploration restartable — finished
+// experiments are recorded in the checkpoint directory and a rerun resumes
+// them instead of re-simulating. All result files are written atomically,
+// so a killed run never leaves truncated artifacts.
+//
 // Examples:
 //
 //	dvsexplore -list
 //	dvsexplore fig6 fig7
 //	dvsexplore -cycles 2000000 -outdir results -metrics results all
+//	dvsexplore -checkpoint results/ck -run-timeout 10m -outdir results all
 package main
 
 import (
@@ -20,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"nepdvs/internal/cli"
+	"nepdvs/internal/core"
 	"nepdvs/internal/experiments"
 	"nepdvs/internal/obs"
 )
@@ -36,6 +47,8 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		metricsDir = flag.String("metrics", "", "write metrics.json and metrics.prom into this directory")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock watchdog per simulation run (0 = unbounded)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory: record finished experiments and resume a killed exploration")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -47,13 +60,13 @@ func main() {
 		return
 	}
 	if err := run(*cycles, *par, *seed, *outdir, *metricsDir, *quiet,
-		*cpuprofile, *memprofile, flag.Args()); err != nil {
+		*runTimeout, *checkpoint, *cpuprofile, *memprofile, flag.Args()); err != nil {
 		cli.Die("dvsexplore", err)
 	}
 }
 
 func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet bool,
-	cpuprofile, memprofile string, args []string) error {
+	runTimeout time.Duration, checkpoint, cpuprofile, memprofile string, args []string) error {
 
 	start := time.Now()
 	prof, err := obs.StartProfiles(cpuprofile, memprofile)
@@ -62,7 +75,15 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 	}
 	defer prof.Stop()
 
-	o := experiments.Options{Cycles: cycles, Parallelism: par, Seed: seed}
+	var ck *core.Checkpoint
+	if checkpoint != "" {
+		ck, err = core.OpenCheckpoint(checkpoint)
+		if err != nil {
+			return err
+		}
+	}
+
+	o := experiments.Options{Cycles: cycles, Parallelism: par, Seed: seed, RunTimeout: runTimeout}
 	reg := obs.NewRegistry()
 	prog := obs.NewProgress(os.Stderr, "runs", experiments.PlannedRuns(args),
 		obs.StderrIsTerminal() && !quiet)
@@ -71,21 +92,29 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 	})
 	defer remove()
 
+	// The exploration is resilient: one failing experiment is recorded and
+	// the rest still run, land on disk and are accounted for in the
+	// manifest. A non-nil return at the end turns the failures into a
+	// non-zero exit.
 	var reports []experiments.Report
+	var failures []string
 	runAll := len(args) == 0 || (len(args) == 1 && args[0] == "all")
 	if runAll {
-		rs, err := experiments.RunAll(o)
+		rs, err := experiments.RunAllCheckpointed(o, ck)
 		if err != nil {
-			prog.Finish()
-			return err
+			failures = append(failures, err.Error())
 		}
 		reports = rs
 	} else {
 		for _, id := range args {
-			rs, err := experiments.Run(id, o)
+			rs, resumed, err := experiments.RunCheckpointed(id, o, ck)
 			if err != nil {
-				prog.Finish()
-				return err
+				failures = append(failures, fmt.Sprintf("%s: %v", id, err))
+				fmt.Fprintf(os.Stderr, "dvsexplore: %s failed: %v\n", id, err)
+				continue
+			}
+			if resumed {
+				fmt.Fprintf(os.Stderr, "dvsexplore: %s resumed from checkpoint\n", id)
 			}
 			reports = append(reports, rs...)
 		}
@@ -100,14 +129,14 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 		for _, r := range reports {
 			path := filepath.Join(outdir, r.ID+".dat")
 			content := fmt.Sprintf("# %s\n%s", r.Title, r.Body)
-			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			if err := obs.AtomicWriteFile(path, []byte(content), 0o644); err != nil {
 				return err
 			}
 			outputs = append(outputs, path)
 			fmt.Printf("wrote %s (%s)\n", path, r.Title)
 			for _, ch := range r.Charts {
 				svgPath := filepath.Join(outdir, ch.Name+".svg")
-				if err := os.WriteFile(svgPath, []byte(ch.SVG), 0o644); err != nil {
+				if err := obs.AtomicWriteFile(svgPath, []byte(ch.SVG), 0o644); err != nil {
 					return err
 				}
 				outputs = append(outputs, svgPath)
@@ -131,15 +160,7 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 		}
 		outputs = append(outputs, jsonPath)
 		promPath := filepath.Join(metricsDir, "metrics.prom")
-		f, err := os.Create(promPath)
-		if err != nil {
-			return err
-		}
-		if err := snap.WritePrometheus(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := snap.WritePrometheusFile(promPath); err != nil {
 			return err
 		}
 		outputs = append(outputs, promPath)
@@ -164,6 +185,7 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 		m.Seed = seed
 		m.Cycles = cycles
 		m.Outputs = outputs
+		m.Failures = failures
 		m.Metrics = &snap
 		m.SetWall(time.Since(start))
 		if err := m.WriteFile(filepath.Join(manifestDir, "manifest.json")); err != nil {
@@ -172,5 +194,11 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 	}
 
 	fmt.Fprintf(os.Stderr, "dvsexplore: %d reports in %v\n", len(reports), time.Since(start).Round(time.Millisecond))
-	return prof.Stop()
+	if err := prof.Stop(); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d experiment(s) failed: %s", len(failures), strings.Join(failures, "; "))
+	}
+	return nil
 }

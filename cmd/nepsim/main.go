@@ -9,6 +9,7 @@
 //	nepsim -bench nat -mbps 600 -policy tdvs -threshold 1000 -window 40000
 //	nepsim -bench md4 -level medium -policy edvs -window 40000 -idle 0.10
 //	nepsim -bench nat -policy tdvs -metrics m.json
+//	nepsim -bench ipfwdr -policy tdvs -faults plan.json -run-timeout 5m
 //
 // Metrics snapshots derive only from simulation state: two identical
 // invocations write byte-identical -metrics files. A file ending in .prom
@@ -28,6 +29,7 @@ import (
 
 	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
+	"nepdvs/internal/fault"
 	"nepdvs/internal/obs"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
@@ -50,6 +52,8 @@ type options struct {
 	packets        string
 	metrics        string
 	manifest       string
+	faults         string
+	runTimeout     time.Duration
 	cpuprofile     string
 	memprofile     string
 }
@@ -73,6 +77,8 @@ func main() {
 	flag.StringVar(&o.packets, "packets", "", "replay packet arrivals from a trafficgen file instead of generating")
 	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, else JSON)")
 	flag.StringVar(&o.manifest, "manifest", "", `run manifest path ("" = derive from outputs, "off" = disable)`)
+	flag.StringVar(&o.faults, "faults", "", "inject the deterministic fault plan from this JSON file")
+	flag.DurationVar(&o.runTimeout, "run-timeout", 0, "wall-clock watchdog for the run (0 = unbounded)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -136,6 +142,14 @@ func run(o options, rawArgs []string) error {
 		}
 		cfg.Formulas = string(src)
 	}
+	if o.faults != "" {
+		plan, err := fault.ReadPlanFile(o.faults)
+		if err != nil {
+			return err
+		}
+		cfg.FaultPlan = plan
+	}
+	cfg.Timeout = o.runTimeout
 
 	var reg *obs.Registry
 	if o.metrics != "" {
@@ -206,15 +220,7 @@ func run(o options, rawArgs []string) error {
 // .prom paths and JSON otherwise.
 func writeMetrics(path string, s obs.Snapshot) error {
 	if filepath.Ext(path) == ".prom" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := s.WritePrometheus(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return s.WritePrometheusFile(path)
 	}
 	return s.WriteJSONFile(path)
 }
@@ -256,6 +262,10 @@ func printStats(bench string, res *core.RunResult) {
 	}
 	if res.DVSStats != nil {
 		fmt.Printf("dvs            %d windows, %d transitions\n", res.DVSStats.Windows, res.DVSStats.Transitions)
+	}
+	if f := res.Faults; f != nil {
+		fmt.Printf("faults         %d armed, %d mem delays, %d port stalls, %d drops, %d misreads, %d blocked transitions\n",
+			f.Armed, f.MemDelayed, f.PortStalled, f.PortDropped, f.SensorMisreads, f.VFBlocked)
 	}
 	if res.MonitorFraction > 0 {
 		fmt.Printf("monitor energy %.4f%% of total\n", res.MonitorFraction*100)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nepdvs/internal/obs"
+)
+
+// Checkpoint is a directory of completed-step results that lets a long
+// exploration resume after a crash, interrupt or power loss. Each step is
+// one JSON file, written atomically (temp + fsync + rename), so an entry
+// either exists complete or not at all — a rerun skips exactly the steps
+// that finished and re-executes the rest. Opening a checkpoint sweeps any
+// temp files a killed writer left behind.
+type Checkpoint struct {
+	dir string
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint directory.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	if _, err := obs.RemoveStaleTemps(dir); err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	return &Checkpoint{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpoint) Dir() string { return c.dir }
+
+func (c *Checkpoint) path(key string) string {
+	return filepath.Join(c.dir, sanitizeKey(key)+".json")
+}
+
+// sanitizeKey maps an arbitrary step key onto a safe filename: anything
+// outside [a-zA-Z0-9._-] becomes '_'. Callers use short stable ids
+// (experiment names), so collisions are not a practical concern.
+func sanitizeKey(key string) string {
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Has reports whether a completed entry exists for key.
+func (c *Checkpoint) Has(key string) bool {
+	_, err := os.Stat(c.path(key))
+	return err == nil
+}
+
+// Save atomically records v as the completed result for key.
+func (c *Checkpoint) Save(key string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", key, err)
+	}
+	return obs.AtomicWriteFile(c.path(key), append(b, '\n'), 0o644)
+}
+
+// Load reads the stored result for key into `into` (a pointer, as for
+// json.Unmarshal). It reports ok = false when no entry exists.
+func (c *Checkpoint) Load(key string, into any) (bool, error) {
+	b, err := os.ReadFile(c.path(key))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("core: checkpoint %q: %w", key, err)
+	}
+	if err := json.Unmarshal(b, into); err != nil {
+		return false, fmt.Errorf("core: checkpoint %q: %w", key, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck, err := OpenCheckpoint(filepath.Join(t.TempDir(), "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		N int
+		S string
+	}
+	if ck.Has("fig6") {
+		t.Error("fresh checkpoint claims an entry")
+	}
+	var got payload
+	if ok, err := ck.Load("fig6", &got); err != nil || ok {
+		t.Fatalf("Load on empty checkpoint = (%v, %v)", ok, err)
+	}
+	want := payload{N: 7, S: "done"}
+	if err := ck.Save("fig6", want); err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Has("fig6") {
+		t.Error("saved entry not reported by Has")
+	}
+	if ok, err := ck.Load("fig6", &got); err != nil || !ok {
+		t.Fatalf("Load after Save = (%v, %v)", ok, err)
+	} else if got != want {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+
+	// Entries survive reopening — that is the whole point.
+	ck2, err := OpenCheckpoint(ck.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck2.Has("fig6") {
+		t.Error("entry lost across reopen")
+	}
+}
+
+func TestCheckpointKeySanitization(t *testing.T) {
+	ck, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile key must not escape the directory.
+	key := "../escape/attempt"
+	if err := ck.Save(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(ck.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries in checkpoint dir, want 1", len(entries))
+	}
+	if name := entries[0].Name(); name != ".._escape_attempt.json" {
+		t.Errorf("sanitized filename = %q", name)
+	}
+	var n int
+	if ok, err := ck.Load(key, &n); err != nil || !ok || n != 1 {
+		t.Errorf("Load under sanitized key = (%v, %v, %d)", ok, err, n)
+	}
+	if got := sanitizeKey(""); got != "_" {
+		t.Errorf("sanitizeKey(\"\") = %q", got)
+	}
+}
+
+func TestCheckpointSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	// A killed writer leaves an atomic-write temp behind; opening the
+	// checkpoint must clean it up.
+	stale := filepath.Join(dir, ".fig6.json.tmp-123456")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived OpenCheckpoint")
+	}
+}
+
+func TestCheckpointCorruptEntry(t *testing.T) {
+	ck, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ck.Dir(), "bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if ok, err := ck.Load("bad", &v); err == nil {
+		t.Errorf("corrupt entry loaded: ok=%v", ok)
+	}
+}

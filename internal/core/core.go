@@ -12,11 +12,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"nepdvs/internal/dvs"
+	"nepdvs/internal/fault"
 	"nepdvs/internal/loc"
 	"nepdvs/internal/npu"
 	"nepdvs/internal/obs"
@@ -92,6 +95,19 @@ type RunConfig struct {
 	// Formulas is LOC source text evaluated live against the trace
 	// (multiple formulas separated by semicolons, optionally named).
 	Formulas string
+	// FaultPlan, when non-nil, injects the plan's deterministic faults into
+	// this run (see internal/fault). The plan is scoped per run: faults
+	// whose Only clause does not match the run's traffic seed or policy
+	// parameters are skipped, so a sweep can target single design points.
+	// Serialized into manifests so faulted runs are reproducible from their
+	// config block alone.
+	FaultPlan *fault.Plan `json:",omitempty"`
+	// Timeout, when positive, bounds the run's wall-clock time: a watchdog
+	// interrupts the simulation kernel and the run fails with a
+	// context.DeadlineExceeded error. This is the defense against injected
+	// or accidental livelocks — simulated time may stand still, but the
+	// wall clock does not.
+	Timeout time.Duration `json:",omitempty"`
 	// ExtraSink, when non-nil, additionally receives every trace event
 	// (e.g. a file writer). Not part of the serializable config.
 	ExtraSink trace.Sink `json:"-"`
@@ -172,6 +188,9 @@ type RunResult struct {
 	DVSStats *dvs.Stats
 	// MonitorFraction is the TDVS monitor energy share (0 when disabled).
 	MonitorFraction float64
+	// Faults reports the fault injector's activity (nil when the run had no
+	// fault plan).
+	Faults *fault.Stats
 }
 
 // LOCByName finds a formula result by name.
@@ -187,17 +206,57 @@ func (r *RunResult) LOCByName(name string) (*loc.Result, bool) {
 // TraceSchema returns the annotation schema of the traces this engine
 // produces: the five standard annotations plus the extras emitted by the
 // chip model (per-window idle fractions, VF-change parameters, pipeline
-// batch sizes).
+// batch sizes) and the fault-event codes (kind, unit, magnitude).
 func TraceSchema() map[string]bool {
-	return loc.StandardSchema("idle_frac", "mhz", "volts", "instrs")
+	return loc.StandardSchema("idle_frac", "mhz", "volts", "instrs", "kind", "unit", "magnitude")
 }
 
+// RunError wraps a failure inside the simulation itself — a panic recovered
+// from the model (possibly an injected one) — as an ordinary error so sweep
+// and replication machinery can record it instead of dying.
+type RunError struct {
+	// Panicked reports that the run died by panic; Value is the panic value
+	// rendered as text and Stack the goroutine stack at recovery.
+	Panicked bool
+	Value    string
+	Stack    string
+	// Err is the underlying error, if the failure was an ordinary error.
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("core: run panicked: %s", e.Value)
+	}
+	return fmt.Sprintf("core: run failed: %v", e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
 // Run executes one simulation run to completion.
-func Run(cfg RunConfig) (res *RunResult, err error) {
+func Run(cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation run under a context. Cancellation (or
+// a RunConfig.Timeout expiry) interrupts the simulation kernel and fails
+// the run; a panic inside the model is recovered into a *RunError rather
+// than killing the process, so sweeps survive individual bad runs.
+func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) {
 	if h := loadRunHook(); h != nil {
 		start := time.Now()
 		defer func() { h(time.Since(start), err) }()
 	}
+	// Registered after the hook defer so it runs first: the hook observes
+	// the recovered error, not the panic.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &RunError{Panicked: true, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -250,6 +309,22 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		return nil, err
 	}
 
+	// Compile and arm the fault plan, if any. The plan is scope-filtered to
+	// this run, compiled against the reference clock, hooked into the chip's
+	// memory and port paths, and armed on the kernel so fault onsets appear
+	// in the trace. The DVS-facing sensor/actuator tap is attached below
+	// where the policy is built.
+	var inj *fault.Injector
+	if cfg.FaultPlan != nil {
+		scoped := cfg.FaultPlan.ForRun(cfg.Traffic.Seed, cfg.Policy.WindowCycles, cfg.Policy.TopThresholdMbps)
+		inj, err = fault.NewInjector(scoped, sim.NewClock(cfg.Chip.RefMHz))
+		if err != nil {
+			return nil, err
+		}
+		chip.SetFaultInjector(inj)
+		inj.Arm(k, chip.EmitExternal)
+	}
+
 	// Materialize the packet stream up front: the oracle policy needs the
 	// per-window volumes before the run starts.
 	dur := cfg.Duration()
@@ -262,7 +337,13 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		pkts = gen.GenerateUntil(dur)
 	}
 
-	// Attach the DVS policy.
+	// Attach the DVS policy. Controllers see the chip through the fault
+	// injector's sensor tap when one is armed, so sensor misreads and stuck
+	// VF transitions act on the policy without the chip model knowing.
+	var pchip dvs.Chip = chip
+	if inj != nil {
+		pchip = dvs.Intercept(chip, inj.Tap(k))
+	}
 	var policyStats func() dvs.Stats
 	switch cfg.Policy.Kind {
 	case TDVS:
@@ -270,7 +351,7 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		if err != nil {
 			return nil, err
 		}
-		ctl, err := dvs.NewTDVS(k, chip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.Hysteresis)
+		ctl, err := dvs.NewTDVS(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.Hysteresis)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +359,7 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 	case EDVS:
 		// EDVS shares the ladder VF rungs; thresholds are unused, so the
 		// ladder's top threshold value is immaterial.
-		ctl, err := dvs.NewEDVS(k, chip, dvs.MustLadder(1000), cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
+		ctl, err := dvs.NewEDVS(k, pchip, dvs.MustLadder(1000), cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
 		if err != nil {
 			return nil, err
 		}
@@ -288,7 +369,7 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		if err != nil {
 			return nil, err
 		}
-		ctl, err := dvs.NewCombined(k, chip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
+		ctl, err := dvs.NewCombined(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
 		if err != nil {
 			return nil, err
 		}
@@ -309,7 +390,7 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		if err != nil {
 			return nil, err
 		}
-		ctl, err := dvs.NewOracle(k, chip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, vols)
+		ctl, err := dvs.NewOracle(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, vols)
 		if err != nil {
 			return nil, err
 		}
@@ -320,8 +401,37 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		return nil, err
 	}
 
+	// Watchdog: a goroutine that interrupts the kernel when the context
+	// expires. Only started when the context can actually fire — for the
+	// plain context.Background() path Done() is nil and the run is
+	// unbounded, costing nothing.
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				k.Interrupt()
+			case <-watchDone:
+			}
+		}()
+	}
+
 	k.RunUntil(dur)
 	chip.StopTickers()
+
+	if k.Interrupted() {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return nil, fmt.Errorf("core: run aborted by watchdog at %v simulated (%d events dispatched): %w", k.Now(), k.Dispatched(), cause)
+	}
 
 	if err := chip.SinkErr(); err != nil {
 		return nil, err
@@ -343,11 +453,18 @@ func Run(cfg RunConfig) (res *RunResult, err error) {
 		st := policyStats()
 		res.DVSStats = &st
 	}
+	if inj != nil {
+		st := inj.Stats()
+		res.Faults = &st
+	}
 	if cfg.Metrics != nil {
 		k.PublishMetrics(cfg.Metrics)
 		chip.PublishMetrics(cfg.Metrics)
 		if res.DVSStats != nil {
 			res.DVSStats.Publish(cfg.Metrics, "dvs")
+		}
+		if inj != nil {
+			inj.PublishMetrics(cfg.Metrics)
 		}
 	}
 	return res, nil
@@ -359,16 +476,38 @@ type Point struct {
 	WindowCycles  int64
 }
 
-// SweepResult pairs a design point with its run outcome.
+// SweepResult pairs a design point with its run outcome. Exactly one of
+// Result and Err is set: a point whose run fails (after one retry) carries
+// its error here instead of aborting the whole sweep.
 type SweepResult struct {
 	Point  Point
 	Result *RunResult
+	Err    error
+}
+
+// runWithRetry executes a run and, on failure, tries exactly once more.
+// The retry absorbs transient failures (a watchdog firing on a loaded
+// machine); deterministic failures — injected panics, config errors —
+// fail both attempts, and the second error is returned.
+func runWithRetry(cfg RunConfig) (*RunResult, error) {
+	res, err := Run(cfg)
+	if err == nil {
+		return res, nil
+	}
+	return Run(cfg)
 }
 
 // SweepTDVS runs the cross product of thresholds × windows (each with the
 // base config's benchmark, traffic and formulas), in parallel across
 // goroutines — each run owns its kernel, so runs are independent. Results
 // are returned in deterministic (threshold-major) order.
+//
+// The sweep is resilient: a point whose run panics, times out or otherwise
+// fails (after one retry) records its error in its SweepResult while the
+// remaining points complete. If any point failed the returned error
+// summarizes the damage — callers that need every point treat it as fatal;
+// callers doing robustness exploration inspect the per-point Errs. Only
+// when every point fails is the result slice nil.
 func SweepTDVS(base RunConfig, thresholds []float64, windows []int64, parallelism int) ([]SweepResult, error) {
 	if len(thresholds) == 0 || len(windows) == 0 {
 		return nil, fmt.Errorf("core: empty sweep axes")
@@ -383,7 +522,6 @@ func SweepTDVS(base RunConfig, thresholds []float64, windows []int64, parallelis
 		}
 	}
 	results := make([]SweepResult, len(points))
-	errs := make([]error, len(points))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)
 	for i, pt := range points {
@@ -400,19 +538,30 @@ func SweepTDVS(base RunConfig, thresholds []float64, windows []int64, parallelis
 				WindowCycles:     pt.WindowCycles,
 				Hysteresis:       base.Policy.Hysteresis,
 			}
-			res, err := Run(cfg)
+			res, err := runWithRetry(cfg)
 			if err != nil {
-				errs[i] = fmt.Errorf("core: point %+v: %w", pt, err)
+				results[i] = SweepResult{Point: pt, Err: fmt.Errorf("core: point %+v: %w", pt, err)}
 				return
 			}
 			results[i] = SweepResult{Point: pt, Result: res}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var failed int
+	var first error
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			if first == nil {
+				first = r.Err
+			}
 		}
+	}
+	switch {
+	case failed == len(results):
+		return nil, fmt.Errorf("core: all %d sweep points failed (first: %w)", failed, first)
+	case failed > 0:
+		return results, fmt.Errorf("core: %d of %d sweep points failed (first: %w)", failed, len(results), first)
 	}
 	return results, nil
 }

@@ -50,8 +50,17 @@ func (r Replication) String() string {
 	return fmt.Sprintf("%.3f ± %.3f", r.Mean(), r.StdDev())
 }
 
+// SeedFailure records one traffic seed whose replicated run failed (after
+// a retry).
+type SeedFailure struct {
+	Seed int64
+	Err  error
+}
+
 // ReplicatedResult carries the per-seed runs plus the headline metrics.
 type ReplicatedResult struct {
+	// Runs holds one entry per requested seed, in seed order; a seed whose
+	// run failed leaves a nil entry and a record in Failures.
 	Runs     []*RunResult
 	PowerW   Replication
 	SentMbps Replication
@@ -60,12 +69,20 @@ type ReplicatedResult struct {
 	// seeds (keyed by formula name), giving the across-realization
 	// distribution the paper's single-trace analyzers cannot provide.
 	MergedDists map[string]*stats.Histogram
+	// Failures lists the seeds whose runs failed; the headline replications
+	// aggregate the surviving seeds only.
+	Failures []SeedFailure
 }
 
 // Replicate runs the same configuration under each traffic seed in
 // parallel and aggregates the headline metrics. The config's own traffic
 // seed is ignored; Packets must be nil (a fixed schedule has nothing to
 // replicate over).
+//
+// Replication tolerates partial failure: a seed whose run fails (each
+// worker retries once) is recorded in Failures and excluded from the
+// aggregates while the other seeds merge normally. Only when every seed
+// fails does Replicate return an error.
 func Replicate(cfg RunConfig, seeds []int64, parallelism int) (*ReplicatedResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: no seeds to replicate over")
@@ -89,19 +106,31 @@ func Replicate(cfg RunConfig, seeds []int64, parallelism int) (*ReplicatedResult
 			defer func() { <-sem }()
 			c := cfg
 			c.Traffic.Seed = seed
-			out.Runs[i], errs[i] = Run(c)
+			out.Runs[i], errs[i] = runWithRetry(c)
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			out.Failures = append(out.Failures, SeedFailure{Seed: seeds[i], Err: err})
 		}
 	}
-	out.PowerW.Seeds = seeds
-	out.SentMbps.Seeds = seeds
-	out.LossFrac.Seeds = seeds
+	if len(out.Failures) == len(seeds) {
+		return nil, fmt.Errorf("core: all %d replication seeds failed (first: seed %d: %w)",
+			len(seeds), out.Failures[0].Seed, out.Failures[0].Err)
+	}
+	for i, r := range out.Runs {
+		if r == nil {
+			continue
+		}
+		out.PowerW.Seeds = append(out.PowerW.Seeds, seeds[i])
+		out.SentMbps.Seeds = append(out.SentMbps.Seeds, seeds[i])
+		out.LossFrac.Seeds = append(out.LossFrac.Seeds, seeds[i])
+	}
 	for _, r := range out.Runs {
+		if r == nil {
+			continue
+		}
 		out.PowerW.Values = append(out.PowerW.Values, r.Stats.AvgPowerW)
 		out.SentMbps.Values = append(out.SentMbps.Values, r.Stats.SentMbps())
 		out.LossFrac.Values = append(out.LossFrac.Values, r.Stats.LossFrac())

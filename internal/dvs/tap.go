@@ -1,0 +1,51 @@
+package dvs
+
+import (
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+// Tap observes and may distort the controller-facing chip surface. It is
+// the DVS-layer fault-injection hook: a tap can corrupt what the traffic
+// sensor reports and refuse VF transitions (a stuck regulator), without
+// the controllers knowing they are being lied to — exactly the failure
+// model a robustness analysis needs. Satisfied by *fault.SensorTap.
+type Tap interface {
+	// TrafficBits maps the chip's real cumulative traffic counter to what
+	// the monitor reads. Implementations distort per-reading deltas, not
+	// the cumulative value, so a fault window affects exactly the monitor
+	// windows it covers.
+	TrafficBits(real uint64) uint64
+	// TransitionAllowed reports whether a VF transition may proceed now;
+	// me is the target microengine, or -1 for a chip-wide transition.
+	TransitionAllowed(me int) bool
+}
+
+// Intercept wraps a chip so that every controller built on the result sees
+// the tap's (possibly faulted) view: traffic readings pass through
+// Tap.TrafficBits and transitions are silently dropped when
+// Tap.TransitionAllowed refuses. Idle-time readings pass through
+// unchanged — the EDVS sensor is per-ME hardware state, not a separately
+// faultable monitor in our model.
+func Intercept(c Chip, t Tap) Chip { return &tappedChip{chip: c, tap: t} }
+
+type tappedChip struct {
+	chip Chip
+	tap  Tap
+}
+
+func (x *tappedChip) NumMEs() int           { return x.chip.NumMEs() }
+func (x *tappedChip) MEIdle(i int) sim.Time { return x.chip.MEIdle(i) }
+func (x *tappedChip) TrafficBits() uint64   { return x.tap.TrafficBits(x.chip.TrafficBits()) }
+
+func (x *tappedChip) SetMEVF(i int, vf power.VF) {
+	if x.tap.TransitionAllowed(i) {
+		x.chip.SetMEVF(i, vf)
+	}
+}
+
+func (x *tappedChip) SetAllVF(vf power.VF) {
+	if x.tap.TransitionAllowed(-1) {
+		x.chip.SetAllVF(vf)
+	}
+}

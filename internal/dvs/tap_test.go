@@ -1,0 +1,108 @@
+package dvs
+
+import (
+	"testing"
+
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+// fakeTapChip records the controller-side calls that reach the real chip.
+type fakeTapChip struct {
+	bits  uint64
+	meVF  map[int]power.VF
+	allVF *power.VF
+	idle  sim.Time
+}
+
+func (c *fakeTapChip) NumMEs() int         { return 6 }
+func (c *fakeTapChip) TrafficBits() uint64 { return c.bits }
+func (c *fakeTapChip) MEIdle(int) sim.Time { return c.idle }
+func (c *fakeTapChip) SetMEVF(i int, vf power.VF) {
+	if c.meVF == nil {
+		c.meVF = map[int]power.VF{}
+	}
+	c.meVF[i] = vf
+}
+func (c *fakeTapChip) SetAllVF(vf power.VF) { c.allVF = &vf }
+
+// fakeTap scripts the tap's answers.
+type fakeTap struct {
+	scale    float64
+	allowME  bool
+	allowAll bool
+	asked    []int
+}
+
+func (t *fakeTap) TrafficBits(real uint64) uint64 { return uint64(float64(real) * t.scale) }
+func (t *fakeTap) TransitionAllowed(me int) bool {
+	t.asked = append(t.asked, me)
+	if me < 0 {
+		return t.allowAll
+	}
+	return t.allowME
+}
+
+func TestInterceptPassThrough(t *testing.T) {
+	chip := &fakeTapChip{bits: 4000, idle: 7 * sim.Microsecond}
+	tap := &fakeTap{scale: 1, allowME: true, allowAll: true}
+	c := Intercept(chip, tap)
+	if c.NumMEs() != 6 || c.MEIdle(3) != 7*sim.Microsecond {
+		t.Error("pass-through surface broken")
+	}
+	if got := c.TrafficBits(); got != 4000 {
+		t.Errorf("TrafficBits = %d", got)
+	}
+	vf := power.VF{MHz: 500, Volts: 1.2}
+	c.SetMEVF(2, vf)
+	if chip.meVF[2] != vf {
+		t.Error("allowed SetMEVF did not reach the chip")
+	}
+	c.SetAllVF(vf)
+	if chip.allVF == nil || *chip.allVF != vf {
+		t.Error("allowed SetAllVF did not reach the chip")
+	}
+	if len(tap.asked) != 2 || tap.asked[0] != 2 || tap.asked[1] != -1 {
+		t.Errorf("tap consulted with %v, want [2 -1]", tap.asked)
+	}
+}
+
+func TestInterceptDistortsAndBlocks(t *testing.T) {
+	chip := &fakeTapChip{bits: 4000}
+	tap := &fakeTap{scale: 0.5, allowME: false, allowAll: false}
+	c := Intercept(chip, tap)
+	if got := c.TrafficBits(); got != 2000 {
+		t.Errorf("distorted TrafficBits = %d, want 2000", got)
+	}
+	c.SetMEVF(1, power.VF{MHz: 400, Volts: 1.1})
+	c.SetAllVF(power.VF{MHz: 400, Volts: 1.1})
+	if chip.meVF != nil || chip.allVF != nil {
+		t.Error("blocked transitions reached the chip")
+	}
+}
+
+// TestTDVSThroughIntercept proves a real controller runs against the
+// tapped chip: with the tap halving every sensor reading, TDVS sees half
+// the load and the wrapped chip still receives its transitions.
+func TestTDVSThroughIntercept(t *testing.T) {
+	k := &sim.Kernel{}
+	chip := &fakeTapChip{}
+	tap := &fakeTap{scale: 0.5, allowME: true, allowAll: true}
+	ctl, err := NewTDVS(k, Intercept(chip, tap), MustLadder(1000), 20000, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer load just above the 1000 Mbps top threshold; the halved view
+	// reads ~520 Mbps, so the controller must scale DOWN instead of
+	// staying at the top rung.
+	window := sim.NewClock(600).Cycles(20000) // ≈ 33.3 µs
+	chip.bits = uint64(1040e6 * window.Seconds())
+	k.RunUntil(window + 1)
+	if chip.allVF == nil {
+		t.Fatal("controller made no transition")
+	}
+	if chip.allVF.MHz >= 600 {
+		t.Errorf("misled controller stayed at %v MHz, want a down-scale", chip.allVF.MHz)
+	}
+	_ = ctl
+}

@@ -21,11 +21,10 @@ import (
 // ±10% hysteresis band at the thrash-prone 20k window.
 func AblationHysteresis(o Options) (Report, error) {
 	o = o.withDefaults()
-	base, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, o.Seed)
+	base, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
 	if err != nil {
 		return Report{}, err
 	}
-	base.Cycles = o.Cycles
 	var b strings.Builder
 	b.WriteString("# hysteresis\ttransitions\tpower_w\tsent_mbps\tloss\n")
 	for _, h := range []float64{0, 0.05, 0.10, 0.20} {
@@ -51,11 +50,10 @@ func AblationHysteresis(o Options) (Report, error) {
 // 20k window, locating where small windows become viable.
 func AblationPenalty(o Options) (Report, error) {
 	o = o.withDefaults()
-	base, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, o.Seed)
+	base, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
 	if err != nil {
 		return Report{}, err
 	}
-	base.Cycles = o.Cycles
 	penalties := []sim.Time{0, 2 * sim.Microsecond, 5 * sim.Microsecond, 10 * sim.Microsecond, 20 * sim.Microsecond}
 	type row struct {
 		res *core.RunResult
@@ -123,11 +121,10 @@ func Summary(o Options) (Report, error) {
 	}
 	for _, bench := range workload.All {
 		for pi, pol := range policies {
-			cfg, err := core.DefaultRunConfig(bench, traffic.LevelHigh, o.Seed)
+			cfg, err := o.baseConfig(bench, traffic.LevelHigh)
 			if err != nil {
 				return Report{}, err
 			}
-			cfg.Cycles = o.Cycles
 			cfg.Policy = pol
 			rep, err := core.Replicate(cfg, seeds, o.Parallelism)
 			if err != nil {
@@ -159,11 +156,10 @@ func Summary(o Options) (Report, error) {
 // unavoidable cost of scaling.
 func AblationOracle(o Options) (Report, error) {
 	o = o.withDefaults()
-	base, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, o.Seed)
+	base, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
 	if err != nil {
 		return Report{}, err
 	}
-	base.Cycles = o.Cycles
 	var b strings.Builder
 	b.WriteString("# policy\twindow\ttransitions\tpower_w\tsent_mbps\tloss\n")
 	for _, w := range []int64{20000, 80000} {
@@ -190,11 +186,10 @@ func AblationOracle(o Options) (Report, error) {
 // monitor area cost, against each policy alone.
 func AblationCombined(o Options) (Report, error) {
 	o = o.withDefaults()
-	base, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, o.Seed)
+	base, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
 	if err != nil {
 		return Report{}, err
 	}
-	base.Cycles = o.Cycles
 	policies := []core.PolicyConfig{
 		{Kind: core.NoDVS},
 		{Kind: core.TDVS, TopThresholdMbps: 1400, WindowCycles: 40000},

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nepdvs/internal/core"
+)
+
+// Checkpointed execution: each experiment step's reports are recorded in a
+// core.Checkpoint as they complete, and a rerun against the same directory
+// replays the recorded reports instead of re-simulating. Combined with the
+// engine's resilient sweeps and per-run watchdogs this makes a multi-hour
+// exploration restartable: kill it anywhere, rerun, and only unfinished
+// steps execute.
+
+// RunCheckpointed executes one experiment by ID against a checkpoint,
+// returning its reports and whether they were resumed from the checkpoint
+// rather than computed. ck may be nil (always runs).
+func RunCheckpointed(id string, o Options, ck *core.Checkpoint) (rs []Report, resumed bool, err error) {
+	if ck != nil {
+		var stored []Report
+		// An unreadable entry is treated as missing: recompute, overwrite.
+		if ok, err := ck.Load(id, &stored); err == nil && ok {
+			return stored, true, nil
+		}
+	}
+	rs, err = Run(id, o)
+	if err != nil {
+		return nil, false, err
+	}
+	if ck != nil {
+		if err := ck.Save(id, rs); err != nil {
+			return nil, false, fmt.Errorf("experiments: checkpoint %s: %w", id, err)
+		}
+	}
+	return rs, false, nil
+}
+
+// RunAllCheckpointed is RunAll with step-level resume: steps already
+// recorded in ck replay instantly (the shared TDVS sweep is skipped when
+// no surviving step needs it), and each newly computed step is recorded
+// before the next begins. ck may be nil, degrading to RunAll.
+func RunAllCheckpointed(o Options, ck *core.Checkpoint) ([]Report, error) {
+	if ck == nil {
+		return RunAll(o)
+	}
+	skip := func(id string) ([]Report, bool) {
+		var stored []Report
+		ok, err := ck.Load(id, &stored)
+		if err != nil || !ok {
+			// A missing — or unreadable — entry is simply recomputed and
+			// overwritten; atomic writes make corruption a rerun, not a
+			// wedge.
+			return nil, false
+		}
+		return stored, true
+	}
+	save := func(id string, rs []Report) error { return ck.Save(id, rs) }
+	return runAllSteps(o, skip, save)
+}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
 
 	"nepdvs/internal/core"
 	"nepdvs/internal/dvs"
@@ -82,6 +83,9 @@ type Options struct {
 	Parallelism int
 	// Seed selects the traffic realization (default 1).
 	Seed int64
+	// RunTimeout bounds each simulation run's wall-clock time (0 =
+	// unbounded); see core.RunConfig.Timeout.
+	RunTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +99,20 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// baseConfig assembles the default run config for a benchmark at a traffic
+// level with the options' cycle budget and per-run watchdog applied. Every
+// experiment builds its runs through here, so -run-timeout protection
+// reaches each simulation.
+func (o Options) baseConfig(bench workload.Name, lv traffic.Level) (core.RunConfig, error) {
+	cfg, err := core.DefaultRunConfig(bench, lv, o.Seed)
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	cfg.Cycles = o.Cycles
+	cfg.Timeout = o.RunTimeout
+	return cfg, nil
 }
 
 // The paper's sweep axes.
@@ -197,11 +215,10 @@ func (d *TDVSSweepData) find(th float64, w int64) (*core.RunResult, error) {
 // noDVS baseline, all with the formula (2) and (3) analyzers attached.
 func RunTDVSSweep(bench workload.Name, o Options) (*TDVSSweepData, error) {
 	o = o.withDefaults()
-	base, err := core.DefaultRunConfig(bench, traffic.LevelHigh, o.Seed)
+	base, err := o.baseConfig(bench, traffic.LevelHigh)
 	if err != nil {
 		return nil, err
 	}
-	base.Cycles = o.Cycles
 	base.Formulas = core.StandardFormulas()
 
 	noDVS, err := core.Run(base)
@@ -364,11 +381,10 @@ func Fig9(d *TDVSSweepData) (Report, error) {
 // 20k–80k plus noDVS, rendering both power and throughput distributions.
 func Fig10(o Options) (Report, error) {
 	o = o.withDefaults()
-	base, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, o.Seed)
+	base, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
 	if err != nil {
 		return Report{}, err
 	}
-	base.Cycles = o.Cycles
 	base.Formulas = core.StandardFormulas()
 
 	type out struct {
@@ -472,12 +488,11 @@ func Fig11(o Options) (Report, []Fig11Cell, error) {
 				go func() {
 					defer wg.Done()
 					defer func() { <-sem }()
-					cfg, err := core.DefaultRunConfig(bench, lv, o.Seed)
+					cfg, err := o.baseConfig(bench, lv)
 					if err != nil {
 						errs[i] = err
 						return
 					}
-					cfg.Cycles = o.Cycles
 					cfg.Formulas = core.PowerFormula(100, 0.4, 1.8, 0.01)
 					cfg.Policy = pol
 					cells[i].Result, errs[i] = core.Run(cfg)
@@ -509,11 +524,10 @@ func Fig11(o Options) (Report, []Fig11Cell, error) {
 // per-window idle fractions under high traffic, via LOC hist analyzers.
 func IdleStudy(o Options) (Report, error) {
 	o = o.withDefaults()
-	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, o.Seed)
+	cfg, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
 	if err != nil {
 		return Report{}, err
 	}
-	cfg.Cycles = o.Cycles
 	cfg.Chip.IdleSampleWindow = sim.NewClock(cfg.Chip.RefMHz).Cycles(40000)
 	var formulas []string
 	for me := 0; me < cfg.Chip.NumMEs; me++ {

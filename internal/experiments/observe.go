@@ -31,6 +31,8 @@ var runCounts = map[string]int{
 
 	"summary": 4 * 4 * 3, // benchmarks × policies × seeds
 
+	"fault_sweep": 4 * 2, // intensities × policies
+
 	"sweep-url": sweepRuns,
 	"sweep-nat": sweepRuns,
 	"sweep-md4": sweepRuns,

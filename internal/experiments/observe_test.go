@@ -30,11 +30,12 @@ func TestPlannedRuns(t *testing.T) {
 		args []string
 		want int
 	}{
-		{nil, 175},
-		{[]string{"all"}, 175},
+		{nil, 183},
+		{[]string{"all"}, 183},
 		{[]string{"fig10"}, 5},
 		{[]string{"fig6", "fig7"}, 2 * sweepRuns}, // standalone figs re-run the sweep
 		{[]string{"fig1", "idle", "summary"}, 0 + 1 + 48},
+		{[]string{"fault_sweep"}, 8},
 		{[]string{"no-such-experiment"}, 0},
 	}
 	for _, c := range cases {

@@ -59,6 +59,10 @@ var Registry = map[string]Runner{
 		r, err := Summary(o)
 		return []Report{r}, err
 	},
+	"fault_sweep": func(o Options) ([]Report, error) {
+		r, err := FaultSweep(o)
+		return []Report{r}, err
+	},
 	// The paper ends §4.1 noting its optimal configuration "is specific to
 	// this particular ipfwdr application"; these repeat the full sweep for
 	// the other three benchmarks.
@@ -120,64 +124,121 @@ func Run(id string, o Options) ([]Report, error) {
 	return r(o)
 }
 
-// RunAll executes every experiment, sharing the TDVS sweep across
-// Figures 6–9, and returns reports in presentation order.
-func RunAll(o Options) ([]Report, error) {
-	var out []Report
-	add := func(r Report, err error) error {
-		if err != nil {
-			return err
-		}
-		out = append(out, r)
-		return nil
-	}
-	if err := add(Fig1(), nil); err != nil {
-		return nil, err
-	}
-	if r, err := Fig2(); err != nil {
-		return nil, err
-	} else if err := add(r, nil); err != nil {
-		return nil, err
-	}
-	if r, err := Fig5(); err != nil {
-		return nil, err
-	} else if err := add(r, nil); err != nil {
-		return nil, err
-	}
-	sweep, err := RunTDVSSweep(workload.IPFwdr, o)
-	if err != nil {
-		return nil, err
-	}
-	for _, view := range []func(*TDVSSweepData) (Report, error){Fig6, Fig7, Fig8, Fig9} {
-		r, err := view(sweep)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	for _, f := range []func(Options) (Report, error){Fig10, AblationHysteresis, AblationPenalty, AblationCombined, AblationOracle, IdleStudy} {
+// step is one unit of the all-experiments pipeline: an experiment ID plus
+// a runner that may draw on the shared TDVS sweep. Steps are the
+// granularity of checkpoint/resume.
+type step struct {
+	id  string
+	run func(o Options, sweep func() (*TDVSSweepData, error)) ([]Report, error)
+}
+
+// single adapts a plain (Options) → (Report, error) experiment to a step
+// runner that ignores the shared sweep.
+func single(f func(Options) (Report, error)) func(Options, func() (*TDVSSweepData, error)) ([]Report, error) {
+	return func(o Options, _ func() (*TDVSSweepData, error)) ([]Report, error) {
 		r, err := f(o)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		return []Report{r}, nil
 	}
-	r11, _, err := Fig11(o)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, r11)
-	for _, bench := range []workload.Name{workload.URL, workload.NAT, workload.MD4} {
-		rs, err := benchSweep(bench)(o)
+}
+
+// viaSweep adapts a sweep-view figure to a step runner drawing on the
+// shared sweep.
+func viaSweep(view func(*TDVSSweepData) (Report, error)) func(Options, func() (*TDVSSweepData, error)) ([]Report, error) {
+	return func(_ Options, sweep func() (*TDVSSweepData, error)) ([]Report, error) {
+		d, err := sweep()
 		if err != nil {
 			return nil, err
 		}
+		r, err := view(d)
+		if err != nil {
+			return nil, err
+		}
+		return []Report{r}, nil
+	}
+}
+
+// allSteps is the presentation order of RunAll. Figures 6–9 share one TDVS
+// sweep through the lazy sweep accessor.
+var allSteps = []step{
+	{"fig1", func(Options, func() (*TDVSSweepData, error)) ([]Report, error) { return []Report{Fig1()}, nil }},
+	{"fig2", single(func(Options) (Report, error) { return Fig2() })},
+	{"fig5", single(func(Options) (Report, error) { return Fig5() })},
+	{"fig6", viaSweep(Fig6)},
+	{"fig7", viaSweep(Fig7)},
+	{"fig8", viaSweep(Fig8)},
+	{"fig9", viaSweep(Fig9)},
+	{"fig10", single(Fig10)},
+	{"ablation-hysteresis", single(AblationHysteresis)},
+	{"ablation-penalty", single(AblationPenalty)},
+	{"ablation-combined", single(AblationCombined)},
+	{"ablation-oracle", single(AblationOracle)},
+	{"idle", single(IdleStudy)},
+	{"fig11", func(o Options, _ func() (*TDVSSweepData, error)) ([]Report, error) {
+		r, _, err := Fig11(o)
+		if err != nil {
+			return nil, err
+		}
+		return []Report{r}, nil
+	}},
+	{"sweep-url", func(o Options, _ func() (*TDVSSweepData, error)) ([]Report, error) {
+		return benchSweep(workload.URL)(o)
+	}},
+	{"sweep-nat", func(o Options, _ func() (*TDVSSweepData, error)) ([]Report, error) {
+		return benchSweep(workload.NAT)(o)
+	}},
+	{"sweep-md4", func(o Options, _ func() (*TDVSSweepData, error)) ([]Report, error) {
+		return benchSweep(workload.MD4)(o)
+	}},
+	{"fault_sweep", single(FaultSweep)},
+	{"summary", single(Summary)},
+}
+
+// runAllSteps executes allSteps in order. skip, when non-nil, may supply a
+// step's reports without running it (checkpoint resume); save, when
+// non-nil, is called with each freshly computed step's reports before the
+// pipeline moves on (checkpoint record). The shared TDVS sweep only runs
+// if some step actually asks for it — if Figures 6–9 all resume from a
+// checkpoint, no sweep simulation happens.
+func runAllSteps(o Options, skip func(id string) ([]Report, bool), save func(id string, rs []Report) error) ([]Report, error) {
+	var (
+		sweepData *TDVSSweepData
+		sweepErr  error
+		sweepRan  bool
+	)
+	sweep := func() (*TDVSSweepData, error) {
+		if !sweepRan {
+			sweepRan = true
+			sweepData, sweepErr = RunTDVSSweep(workload.IPFwdr, o)
+		}
+		return sweepData, sweepErr
+	}
+	var out []Report
+	for _, st := range allSteps {
+		if skip != nil {
+			if rs, ok := skip(st.id); ok {
+				out = append(out, rs...)
+				continue
+			}
+		}
+		rs, err := st.run(o, sweep)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", st.id, err)
+		}
+		if save != nil {
+			if err := save(st.id, rs); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", st.id, err)
+			}
+		}
 		out = append(out, rs...)
 	}
-	summary, err := Summary(o)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, summary)
 	return out, nil
+}
+
+// RunAll executes every experiment, sharing the TDVS sweep across
+// Figures 6–9, and returns reports in presentation order.
+func RunAll(o Options) ([]Report, error) {
+	return runAllSteps(o, nil, nil)
 }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+// TestRobustnessPresetsGreen: every robustness assertion preset must hold
+// on a healthy (zero-fault) run — the presets exist to flag faults, not to
+// false-positive on the baseline.
+func TestRobustnessPresetsGreen(t *testing.T) {
+	o := testOpts.withDefaults()
+	cfg, err := o.baseConfig(workload.IPFwdr, traffic.LevelHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Formulas = RobustnessFormulas()
+	cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"tput_floor", "power_cap", "vf_ladder_low", "vf_ladder_high", "energy_monotone"}
+	if len(res.LOC) != len(names) {
+		t.Fatalf("%d LOC results, want %d", len(res.LOC), len(names))
+	}
+	var exercised int
+	for _, name := range names {
+		ck, err := checkOf(res, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ck.Passed() {
+			t.Errorf("%s: %d/%d violations, %d indeterminate on a clean run",
+				name, ck.Total, ck.Instances, ck.Indeterminate)
+		}
+		if ck.Instances > 0 {
+			exercised++
+		}
+	}
+	// The presets must actually check something, not pass vacuously.
+	if exercised < 3 {
+		t.Errorf("only %d of %d presets evaluated any instances", exercised, len(names))
+	}
+}
+
+// TestFaultSweepReport checks the ablation's shape: a full grid of
+// intensity × policy rows, a violation-rate chart, and a clean zero-
+// intensity baseline.
+func TestFaultSweepReport(t *testing.T) {
+	r, err := FaultSweep(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fault_sweep" {
+		t.Errorf("ID = %q", r.ID)
+	}
+	if len(r.Charts) != 1 || !strings.Contains(r.Charts[0].SVG, "<svg") {
+		t.Error("missing violation-rate chart")
+	}
+	var rows, zeroRows int
+	for _, line := range strings.Split(r.Body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 9 {
+			continue // detail-section line
+		}
+		rows++
+		if strings.HasPrefix(f[0], "0.00") {
+			zeroRows++
+			if f[6] != "0" {
+				t.Errorf("zero-intensity row reports %s violations: %q", f[6], line)
+			}
+		}
+	}
+	if want := len(FaultIntensities) * 2; rows != want {
+		t.Errorf("%d data rows, want %d", rows, want)
+	}
+	if zeroRows != 2 {
+		t.Errorf("%d zero-intensity rows, want 2", zeroRows)
+	}
+	// Both policies' detail sections must be present.
+	for _, h := range []string{"## intensity 0 / TDVS", "## intensity 1 / EDVS"} {
+		if !strings.Contains(r.Body, h) {
+			t.Errorf("body lacks %q section", h)
+		}
+	}
+}
+
+// TestAllStepsCoverRegistry keeps the ordered RunAll step list and the
+// Registry map in lockstep: a new experiment must appear in both.
+func TestAllStepsCoverRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, st := range allSteps {
+		if seen[st.id] {
+			t.Errorf("duplicate step %q", st.id)
+		}
+		seen[st.id] = true
+		if _, ok := Registry[st.id]; !ok {
+			t.Errorf("step %q not in Registry", st.id)
+		}
+	}
+	for id := range Registry {
+		if !seen[id] {
+			t.Errorf("registry experiment %q missing from allSteps", id)
+		}
+	}
+}
+
+// TestRunCheckpointedResume: the second run against the same checkpoint
+// replays the stored reports without simulating anything.
+func TestRunCheckpointedResume(t *testing.T) {
+	ck, err := core.OpenCheckpoint(filepath.Join(t.TempDir(), "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs int
+	remove := ObserveRuns(nil, func(_ time.Duration, _ bool) { runs++ })
+	defer remove()
+
+	o := testOpts
+	o.Cycles = 300_000
+	first, resumed, err := RunCheckpointed("idle", o, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Error("first execution claims to have resumed")
+	}
+	if runs == 0 {
+		t.Error("first execution simulated nothing")
+	}
+	ran := runs
+
+	second, resumed, err := RunCheckpointed("idle", o, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Error("second execution did not resume from the checkpoint")
+	}
+	if runs != ran {
+		t.Errorf("resumed execution simulated %d extra runs", runs-ran)
+	}
+	if len(first) != len(second) || len(first) == 0 || first[0].ID != second[0].ID {
+		t.Errorf("resumed reports differ: %d vs %d", len(first), len(second))
+	}
+	if first[0].Body != second[0].Body {
+		t.Error("resumed report body differs from the computed one")
+	}
+}

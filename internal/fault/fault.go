@@ -1,0 +1,317 @@
+// Package fault is the deterministic fault-injection layer of the design
+// exploration engine. A Plan is a serializable schedule of faults — memory
+// latency spikes, SDRAM bank stalls, IX-bus port stalls and drops, DVS
+// sensor misreads, stuck VF transitions, plus two software-fault seams
+// (panic, hang) used to exercise the engine's own resilience machinery.
+//
+// Determinism is the defining contract: a plan is either written by hand or
+// generated from a fault seed via GeneratePlan, and the fault RNG stream is
+// completely independent of the traffic seed. The same configuration, the
+// same traffic seed and the same plan produce byte-identical fault
+// schedules, traces and metrics; the engine's tests assert this.
+//
+// Faults surface in the trace as "fault"/"fault_clear" events annotated
+// with numeric kind/unit codes (annotations are float64-valued), so LOC
+// robustness formulas can be written against fault windows.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names one fault mechanism. Kinds are strings so that plans remain
+// readable as JSON artifacts.
+type Kind string
+
+// The fault kinds.
+const (
+	// KindMemSpike adds Magnitude nanoseconds to every SRAM or SDRAM
+	// request serviced inside the window (Unit: "sram" or "sdram").
+	KindMemSpike Kind = "mem_spike"
+	// KindBankStall holds the SDRAM controller: requests serviced inside
+	// the window are delayed until the window ends (Unit: "sdram").
+	KindBankStall Kind = "bank_stall"
+	// KindPortStall defers packet arrivals on one port to the window end
+	// (Unit: "portN").
+	KindPortStall Kind = "port_stall"
+	// KindPortDrop drops packet arrivals on one port for the window
+	// (Unit: "portN").
+	KindPortDrop Kind = "port_drop"
+	// KindSensorMisread multiplies the DVS traffic monitor's per-window
+	// byte deltas by Magnitude for the window (Unit: "sensor"). A
+	// magnitude below 1 under-reports load, the dangerous direction for a
+	// traffic-based policy.
+	KindSensorMisread Kind = "sensor_misread"
+	// KindVFStuck drops VF transitions requested inside the window — the
+	// regulator refuses to switch (Unit: "vf").
+	KindVFStuck Kind = "vf_stuck"
+	// KindPanic panics inside the simulation at the onset cycle — a
+	// software-fault seam for testing the engine's panic recovery.
+	// DurationCycles and Magnitude are ignored.
+	KindPanic Kind = "panic"
+	// KindHang livelocks the kernel from the onset cycle on (a
+	// self-rescheduling event storm that makes no simulation progress) —
+	// the seam for testing per-run watchdog timeouts.
+	KindHang Kind = "hang"
+)
+
+// kindCodes gives each kind a stable numeric code for trace annotations.
+var kindCodes = map[Kind]float64{
+	KindMemSpike: 1, KindBankStall: 2, KindPortStall: 3, KindPortDrop: 4,
+	KindSensorMisread: 5, KindVFStuck: 6, KindPanic: 7, KindHang: 8,
+}
+
+// Code returns the kind's numeric trace-annotation code (0 for unknown).
+func (k Kind) Code() float64 { return kindCodes[k] }
+
+// Valid reports whether k names a known fault kind.
+func (k Kind) Valid() bool { _, ok := kindCodes[k]; return ok }
+
+// UnitCode maps a fault unit to its numeric trace-annotation code:
+// 0 for none, 1 sram, 2 sdram, 3 sensor, 4 vf, 100+N for port N.
+func UnitCode(unit string) float64 {
+	switch unit {
+	case "":
+		return 0
+	case "sram":
+		return 1
+	case "sdram":
+		return 2
+	case "sensor":
+		return 3
+	case "vf":
+		return 4
+	}
+	if n, ok := portIndex(unit); ok {
+		return 100 + float64(n)
+	}
+	return -1
+}
+
+// portIndex parses a "portN" unit name.
+func portIndex(unit string) (int, bool) {
+	s, ok := strings.CutPrefix(unit, "port")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// PortUnit names port n as a fault unit.
+func PortUnit(n int) string { return fmt.Sprintf("port%d", n) }
+
+// Scope restricts a fault to a subset of the runs sharing one plan. The
+// zero Scope matches every run; each non-zero field must match the run's
+// corresponding parameter. Scoping lets a single sweep-wide plan target
+// one design point or one replication seed.
+type Scope struct {
+	// Seed matches the run's traffic seed (0 = any).
+	Seed int64 `json:",omitempty"`
+	// WindowCycles matches the policy's monitor window (0 = any).
+	WindowCycles int64 `json:",omitempty"`
+	// ThresholdMbps matches the policy's top threshold (0 = any).
+	ThresholdMbps float64 `json:",omitempty"`
+}
+
+// Matches reports whether a run with the given parameters is in scope.
+func (s Scope) Matches(seed, windowCycles int64, thresholdMbps float64) bool {
+	if s.Seed != 0 && s.Seed != seed {
+		return false
+	}
+	if s.WindowCycles != 0 && s.WindowCycles != windowCycles {
+		return false
+	}
+	if s.ThresholdMbps != 0 && s.ThresholdMbps != thresholdMbps {
+		return false
+	}
+	return true
+}
+
+// Fault is one scheduled fault. Onset and duration are expressed in
+// reference-clock cycles, like every other schedule in the engine, so a
+// plan is meaningful independent of the picosecond clock.
+type Fault struct {
+	Kind Kind
+	// Unit names the faulted component (see the Kind docs); empty for the
+	// software kinds.
+	Unit string `json:",omitempty"`
+	// OnsetCycle is when the fault begins, in reference cycles.
+	OnsetCycle int64
+	// DurationCycles is how long the fault holds. Ignored for KindPanic
+	// and KindHang, which have no end.
+	DurationCycles int64 `json:",omitempty"`
+	// Magnitude parameterizes the fault (see the Kind docs).
+	Magnitude float64 `json:",omitempty"`
+	// Only restricts the fault to matching runs; the zero Scope means
+	// every run sharing the plan.
+	Only Scope `json:",omitempty"`
+}
+
+func (f Fault) validate() error {
+	if !f.Kind.Valid() {
+		return fmt.Errorf("fault: unknown kind %q", f.Kind)
+	}
+	if f.OnsetCycle < 0 {
+		return fmt.Errorf("fault: %s: negative onset cycle %d", f.Kind, f.OnsetCycle)
+	}
+	switch f.Kind {
+	case KindPanic, KindHang:
+		return nil
+	}
+	if f.DurationCycles <= 0 {
+		return fmt.Errorf("fault: %s: non-positive duration %d cycles", f.Kind, f.DurationCycles)
+	}
+	switch f.Kind {
+	case KindMemSpike:
+		if f.Unit != "sram" && f.Unit != "sdram" {
+			return fmt.Errorf("fault: mem_spike unit %q (want sram or sdram)", f.Unit)
+		}
+		if f.Magnitude <= 0 {
+			return fmt.Errorf("fault: mem_spike needs a positive magnitude (extra ns), got %v", f.Magnitude)
+		}
+	case KindBankStall:
+		if f.Unit != "sdram" {
+			return fmt.Errorf("fault: bank_stall unit %q (want sdram)", f.Unit)
+		}
+	case KindPortStall, KindPortDrop:
+		if _, ok := portIndex(f.Unit); !ok {
+			return fmt.Errorf("fault: %s unit %q (want portN)", f.Kind, f.Unit)
+		}
+	case KindSensorMisread:
+		if f.Unit != "sensor" {
+			return fmt.Errorf("fault: sensor_misread unit %q (want sensor)", f.Unit)
+		}
+		if f.Magnitude < 0 {
+			return fmt.Errorf("fault: sensor_misread magnitude %v below 0", f.Magnitude)
+		}
+	case KindVFStuck:
+		if f.Unit != "vf" {
+			return fmt.Errorf("fault: vf_stuck unit %q (want vf)", f.Unit)
+		}
+	}
+	return nil
+}
+
+// Plan is a complete, serializable fault schedule. The zero Plan (or a nil
+// *Plan) injects nothing.
+type Plan struct {
+	// Seed is the fault RNG seed the plan was generated from (0 for a
+	// hand-written plan). It is recorded for provenance only; the Faults
+	// list is authoritative.
+	Seed int64 `json:",omitempty"`
+	// Intensity echoes the GeneratePlan intensity, for provenance.
+	Intensity float64 `json:",omitempty"`
+	// Faults is the schedule, in generation order.
+	Faults []Fault
+}
+
+// Validate rejects malformed plans.
+func (p *Plan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("fault: plan entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ForRun filters the plan down to the faults in scope for one run,
+// identified by its traffic seed and policy parameters. The result shares
+// no state with p.
+func (p *Plan) ForRun(seed, windowCycles int64, thresholdMbps float64) Plan {
+	out := Plan{Seed: p.Seed, Intensity: p.Intensity}
+	for _, f := range p.Faults {
+		if f.Only.Matches(seed, windowCycles, thresholdMbps) {
+			out.Faults = append(out.Faults, f)
+		}
+	}
+	return out
+}
+
+// Spec parameterizes GeneratePlan.
+type Spec struct {
+	// Seed drives the fault RNG stream — independent of any traffic seed.
+	Seed int64
+	// Intensity in [0, 1] scales fault count, duration and severity;
+	// 0 generates the empty plan.
+	Intensity float64
+	// Cycles is the run length the plan targets; onsets land inside it.
+	Cycles int64
+	// Ports is the chip's port count, for port-fault targeting.
+	Ports int
+}
+
+// GeneratePlan derives a deterministic fault schedule from a seed and an
+// intensity: the same Spec always yields the same Plan. Only hardware
+// fault kinds are generated; the software seams (panic, hang) are placed
+// by hand in resilience tests, never by intensity sweeps.
+func GeneratePlan(sp Spec) (Plan, error) {
+	if sp.Intensity < 0 || sp.Intensity > 1 {
+		return Plan{}, fmt.Errorf("fault: intensity %v outside [0, 1]", sp.Intensity)
+	}
+	if sp.Cycles <= 0 {
+		return Plan{}, fmt.Errorf("fault: non-positive cycle budget %d", sp.Cycles)
+	}
+	if sp.Ports < 1 {
+		return Plan{}, fmt.Errorf("fault: need at least one port, got %d", sp.Ports)
+	}
+	p := Plan{Seed: sp.Seed, Intensity: sp.Intensity}
+	if sp.Intensity == 0 {
+		return p, nil
+	}
+	kinds := []Kind{
+		KindMemSpike, KindBankStall, KindPortStall,
+		KindPortDrop, KindSensorMisread, KindVFStuck,
+	}
+	r := rand.New(rand.NewSource(sp.Seed))
+	n := 1 + int(sp.Intensity*float64(2*len(kinds)-1))
+	for i := 0; i < n; i++ {
+		// Draw every random in a fixed order regardless of kind, so the
+		// stream consumed per fault is constant and plans stay stable
+		// under kind-specific logic changes.
+		kind := kinds[r.Intn(len(kinds))]
+		onsetFrac := 0.05 + 0.85*r.Float64()
+		durFrac := (0.01 + 0.04*r.Float64()) * (0.5 + sp.Intensity)
+		unitDraw := r.Intn(2 * sp.Ports)
+		magDraw := r.Float64()
+
+		f := Fault{
+			Kind:           kind,
+			OnsetCycle:     int64(onsetFrac * float64(sp.Cycles)),
+			DurationCycles: int64(durFrac * float64(sp.Cycles)),
+		}
+		switch kind {
+		case KindMemSpike:
+			if unitDraw%2 == 0 {
+				f.Unit = "sram"
+			} else {
+				f.Unit = "sdram"
+			}
+			f.Magnitude = 50 + 450*sp.Intensity*magDraw // extra ns per request
+		case KindBankStall:
+			f.Unit = "sdram"
+		case KindPortStall, KindPortDrop:
+			f.Unit = PortUnit(unitDraw % sp.Ports)
+		case KindSensorMisread:
+			f.Unit = "sensor"
+			// Under-report: the monitor sees this fraction of real load.
+			f.Magnitude = (1 - sp.Intensity) * magDraw
+		case KindVFStuck:
+			f.Unit = "vf"
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	// Sort by onset for readable plans; ties keep generation order.
+	sort.SliceStable(p.Faults, func(i, j int) bool {
+		return p.Faults[i].OnsetCycle < p.Faults[j].OnsetCycle
+	})
+	return p, nil
+}

@@ -1,0 +1,49 @@
+package loc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLOCLexer: arbitrary formula source may be rejected but never panic
+// the lexer, and every produced token must carry sane positions.
+func FuzzLOCLexer(f *testing.F) {
+	f.Add("power: (energy(forward[i+100]) - energy(forward[i])) / (time(forward[i+100]) - time(forward[i])) cdf [0.5, 2.25, 0.01];")
+	f.Add("tput_floor: total_bit(forward[i+1]) - total_bit(forward[i]) >= 40;")
+	f.Add("x: idle_frac(m0_idle[i]) hist [0, 0.5, 0.05];")
+	f.Add("")
+	f.Add(";;;")
+	f.Add("name with spaces : ???")
+	f.Add("1e999")
+	f.Add(".5.5.5")
+	f.Add("[i+")
+	f.Add("\x00\xff\xfe")
+	f.Add(strings.Repeat("(", 1000))
+	f.Add("// comment only")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexAll(src)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				t.Fatalf("token %+v has an unpositioned location", tok)
+			}
+		}
+	})
+}
+
+// FuzzLOCParse goes one layer up: a lexable formula may still be rejected
+// by the parser, but never crash it.
+func FuzzLOCParse(f *testing.F) {
+	f.Add("p: energy(forward[i+1]) - energy(forward[i]) >= 0;")
+	f.Add("q: time(a[i]) cdf [0, 1, 0.1];")
+	f.Add("r: mhz(m0_vfchange[i]) <= 600")
+	f.Add("broken: (((")
+	f.Add("a: b[i] ; c: d[j] ;")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseFile(src)
+	})
+}

@@ -62,15 +62,37 @@ type Chip struct {
 	idleTicker     *sim.Ticker
 	lastIdleSample []sim.Time
 
+	// faults is the optional fault-injection hook (see SetFaultInjector);
+	// nil on the nominal path.
+	faults FaultInjector
+
 	// counters
-	bitsArrived   uint64
-	pktsArrived   uint64
-	pktsQueued    uint64
-	pktsDropped   uint64
-	pktsSent      uint64
-	bitsSent      uint64
-	fifoHighWater int
+	bitsArrived      uint64
+	pktsArrived      uint64
+	pktsQueued       uint64
+	pktsDropped      uint64
+	pktsSent         uint64
+	bitsSent         uint64
+	pktsFaultDropped uint64
+	fifoHighWater    int
 }
+
+// FaultInjector is the chip's fault-injection surface, satisfied by
+// *fault.Injector. Both hooks are queried on the simulation goroutine at
+// well-defined points — memory-request service start and media-side packet
+// arrival — so deterministic injectors yield deterministic runs.
+type FaultInjector interface {
+	// MemExtra returns extra service latency for a request starting at
+	// time at on the named unit ("sram" or "sdram"); 0 means nominal.
+	MemExtra(unit string, at sim.Time) sim.Time
+	// PortFault decides the fate of a packet arriving on port at time at:
+	// drop it, or defer its arrival until resume (0 = proceed now).
+	PortFault(port int, at sim.Time) (resume sim.Time, drop bool)
+}
+
+// SetFaultInjector attaches a fault injector. Call before the simulation
+// starts; a nil injector (the default) is the nominal, zero-overhead path.
+func (c *Chip) SetFaultInjector(f FaultInjector) { c.faults = f }
 
 // New builds a chip. programs must have one entry per ME: indices
 // [0, RxMEs) run the receive/processing code, the rest the transmit code.
@@ -108,10 +130,20 @@ func New(cfg Config, k *sim.Kernel, programs []*isa.Program, sink trace.Sink) (*
 	sramPipe := sim.Time(cfg.SramPipeNs * float64(sim.Nanosecond))
 	sramWord := sim.Time(cfg.SramWordNs * float64(sim.Nanosecond))
 	c.sram = newMemController(k, "sram", func(r memRequest) sim.Time {
-		return sramPipe + sim.Time(r.words)*sramWord
+		t := sramPipe + sim.Time(r.words)*sramWord
+		if c.faults != nil {
+			t += c.faults.MemExtra("sram", k.Now())
+		}
+		return t
 	})
 	c.sdramTm = newSdramTiming(cfg.SdramBanks, cfg.SdramRowNs, cfg.SdramWordNs)
-	c.sdram = newMemController(k, "sdram", c.sdramTm.serviceTime)
+	c.sdram = newMemController(k, "sdram", func(r memRequest) sim.Time {
+		t := c.sdramTm.serviceTime(r)
+		if c.faults != nil {
+			t += c.faults.MemExtra("sdram", k.Now())
+		}
+		return t
+	})
 	for i := 0; i < cfg.NumMEs; i++ {
 		c.mes = append(c.mes, newME(c, i, programs[i], cfg.MEVF))
 	}
@@ -151,8 +183,22 @@ func (c *Chip) Inject(pkts []traffic.Packet) error {
 }
 
 // portArrive is the media-side arrival: the traffic monitor sees the packet
-// here, then the IX bus moves it into the RFIFO.
+// here, then the IX bus moves it into the RFIFO. Port faults act first —
+// a dropped packet never reaches the device (it is not counted as
+// arrived), and a stalled packet arrives when its stall window ends.
 func (c *Chip) portArrive(p traffic.Packet) {
+	if c.faults != nil {
+		resume, drop := c.faults.PortFault(p.Port, c.k.Now())
+		if drop {
+			c.pktsFaultDropped++
+			c.emit(trace.EvFaultDrop, c.pktsArrived, c.bitsArrived, nil)
+			return
+		}
+		if resume > c.k.Now() {
+			c.k.Schedule(resume, func() { c.portArrive(p) })
+			return
+		}
+	}
 	c.bitsArrived += p.Bits()
 	c.pktsArrived++
 	if c.cfg.MonitorOverhead {
@@ -364,6 +410,14 @@ func (c *Chip) emit(name string, totalPkt, totalBit uint64, extra map[string]flo
 	}
 }
 
+// EmitExternal emits a fully annotated trace event on behalf of a layer
+// outside the chip (the fault injector announcing fault windows). The
+// packet/bit totals are the forwarding totals, as for other chip-state
+// events.
+func (c *Chip) EmitExternal(name string, extra map[string]float64) {
+	c.emit(name, c.pktsSent, c.bitsSent, extra)
+}
+
 func (c *Chip) emitVFChange(me int, vf power.VF) {
 	if c.sinkErr != nil {
 		return
@@ -429,6 +483,10 @@ type Stats struct {
 	MEVFChanges   []uint64
 	SdramRowHits  uint64
 	SdramRowMiss  uint64
+	// FaultDropped counts packets lost to injected port-drop faults; they
+	// never reached the device, so they are outside PktsArrived and the
+	// RFIFO loss accounting.
+	FaultDropped uint64
 }
 
 // SentMbps returns measured forwarding throughput.
@@ -471,6 +529,7 @@ func (c *Chip) Snapshot() Stats {
 		FifoHighWater: c.fifoHighWater,
 		SdramRowHits:  c.sdramTm.hits,
 		SdramRowMiss:  c.sdramTm.misses,
+		FaultDropped:  c.pktsFaultDropped,
 	}
 	if now > 0 {
 		st.AvgPowerW = st.EnergyUJ / now.Micros()

@@ -15,6 +15,7 @@ func (c *Chip) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("npu_pkts_queued").Add(c.pktsQueued)
 	reg.Counter("npu_pkts_dropped").Add(c.pktsDropped)
 	reg.Counter("npu_pkts_sent").Add(c.pktsSent)
+	reg.Counter("npu_pkts_fault_dropped").Add(c.pktsFaultDropped)
 	reg.Counter("npu_bits_arrived").Add(c.bitsArrived)
 	reg.Counter("npu_bits_sent").Add(c.bitsSent)
 	reg.Gauge("npu_rfifo_high_water").SetMax(float64(c.fifoHighWater))

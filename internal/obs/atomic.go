@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes data to path atomically: into a hidden temporary
+// file in the same directory, fsynced, then renamed over path. A run killed
+// mid-write leaves either the previous file or no file — never a truncated
+// artifact — which is what lets checkpoint/resume and manifest readers
+// trust whatever they find on disk. On any failure the temporary file is
+// removed.
+//
+// Temporary files are named ".<base>.tmp-<random>"; crash leftovers are
+// recognizable by the ".tmp-" infix (see RemoveStaleTemps).
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// RemoveStaleTemps deletes AtomicWriteFile leftovers (".*.tmp-*" files) in
+// dir — the debris a SIGKILL between CreateTemp and rename can leave — and
+// reports how many were removed. Non-matching files are never touched.
+func RemoveStaleTemps(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || len(name) == 0 || name[0] != '.' {
+			continue
+		}
+		if ok, _ := filepath.Match(".*.tmp-*", name); !ok {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

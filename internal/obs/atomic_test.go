@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.dat")
+
+	if err := AtomicWriteFile(path, []byte("v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1\n" {
+		t.Errorf("content = %q", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+
+	// Overwrite must replace, and never leave temp debris behind.
+	if err := AtomicWriteFile(path, []byte("v2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2\n" {
+		t.Errorf("after overwrite: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d entries in dir, want 1", len(entries))
+	}
+}
+
+func TestAtomicWriteFileFailureLeavesNoDebris(t *testing.T) {
+	dir := t.TempDir()
+	// Writing into a missing directory fails up front.
+	if err := AtomicWriteFile(filepath.Join(dir, "no/such/dir/x"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed write left %d entries behind", len(entries))
+	}
+}
+
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := []string{".results.dat.tmp-12345", ".manifest.json.tmp-98765"}
+	keep := []string{"results.dat", ".hidden-but-not-temp", "normal.tmp-ish"}
+	for _, n := range append(append([]string{}, stale...), keep...) {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A directory whose name matches the pattern must not be removed.
+	if err := os.Mkdir(filepath.Join(dir, ".d.tmp-1"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := RemoveStaleTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(stale) {
+		t.Errorf("removed %d files, want %d", n, len(stale))
+	}
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale temp %q survived", name)
+		}
+	}
+	for _, name := range keep {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("non-temp file %q was removed", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".d.tmp-1")); err != nil {
+		t.Error("directory matching the temp pattern was removed")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,17 +20,24 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// WriteJSONFile writes the snapshot to path, creating or truncating it.
+// WriteJSONFile writes the snapshot to path atomically (temp file + fsync
+// + rename), so readers never observe a partially written snapshot.
 func (s Snapshot) WriteJSONFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
 		return err
 	}
-	if err := s.WriteJSON(f); err != nil {
-		f.Close()
+	return AtomicWriteFile(path, buf.Bytes(), 0o644)
+}
+
+// WritePrometheusFile writes the snapshot in Prometheus text format to
+// path, atomically.
+func (s Snapshot) WritePrometheusFile(path string) error {
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
 		return err
 	}
-	return f.Close()
+	return AtomicWriteFile(path, buf.Bytes(), 0o644)
 }
 
 // ReadJSONFile loads a snapshot previously written by WriteJSONFile.

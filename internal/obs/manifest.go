@@ -31,6 +31,10 @@ type Manifest struct {
 	Cycles int64 `json:"cycles"`
 	// Outputs lists the result files this invocation wrote.
 	Outputs []string `json:"outputs,omitempty"`
+	// Failures records per-experiment (or per-run) errors the invocation
+	// survived: the resilient engine completes what it can and accounts
+	// for the rest here.
+	Failures []string `json:"failures,omitempty"`
 	// Metrics is the registry snapshot at completion.
 	Metrics *Snapshot `json:"metrics,omitempty"`
 	// GoVersion is the toolchain that built the binary.
@@ -57,13 +61,15 @@ func NewManifest(tool string, args []string) *Manifest {
 // SetWall records the invocation duration.
 func (m *Manifest) SetWall(d time.Duration) { m.WallMS = float64(d) / float64(time.Millisecond) }
 
-// WriteFile serializes the manifest as indented JSON at path.
+// WriteFile serializes the manifest as indented JSON at path. The write is
+// atomic (temp file + fsync + rename): a killed run never leaves a
+// truncated manifest behind.
 func (m *Manifest) WriteFile(path string) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: manifest: %w", err)
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return AtomicWriteFile(path, append(b, '\n'), 0o644)
 }
 
 // ReadManifest loads a manifest written by WriteFile. Config is decoded

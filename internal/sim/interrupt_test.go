@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInterruptStopsLivelock models the watchdog scenario: a
+// self-rescheduling picosecond event storm that would otherwise run
+// forever must stop shortly after Interrupt is called from another
+// goroutine.
+func TestInterruptStopsLivelock(t *testing.T) {
+	k := &Kernel{}
+	var spin func()
+	spin = func() { k.After(Picosecond, spin) }
+	spin()
+
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		k.Interrupt()
+	}()
+	go func() {
+		k.RunUntil(Second) // would take ~10¹² dispatches without the interrupt
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("interrupt did not stop the dispatch loop")
+	}
+	if !k.Interrupted() {
+		t.Error("Interrupted() = false after Interrupt")
+	}
+	// The clock must NOT have been advanced to the deadline: the run was
+	// aborted, not completed.
+	if k.Now() >= Second {
+		t.Errorf("interrupted run advanced clock to %v", k.Now())
+	}
+}
+
+// TestInterruptStopsRun covers the unbounded Run loop too.
+func TestInterruptStopsRun(t *testing.T) {
+	k := &Kernel{}
+	var spin func()
+	spin = func() { k.After(Picosecond, spin) }
+	spin()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		k.Interrupt()
+	}()
+	done := make(chan struct{})
+	go func() {
+		k.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("interrupt did not stop Run")
+	}
+}
+
+// TestInterruptIsSticky: once interrupted, further dispatch attempts
+// return immediately.
+func TestInterruptIsSticky(t *testing.T) {
+	k := &Kernel{}
+	k.Interrupt()
+	fired := false
+	k.After(0, func() { fired = true })
+	k.RunUntil(Second)
+	if fired {
+		t.Error("event dispatched on an interrupted kernel")
+	}
+}

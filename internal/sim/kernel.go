@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -103,6 +104,10 @@ type Kernel struct {
 	seq     uint64
 	heap    eventHeap
 	stopped bool
+	// interrupted is the only cross-goroutine surface of the kernel: a
+	// watchdog may set it while the dispatch loop runs. It is sticky; a
+	// kernel is single-run and never reused after an interrupt.
+	interrupted atomic.Bool
 	// stats
 	dispatched    uint64
 	cancelled     uint64
@@ -174,6 +179,22 @@ func (k *Kernel) Pending() int { return len(k.heap) }
 // Stop makes Run return after the currently dispatching event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// Interrupt asks the dispatch loop to stop. Unlike Stop it is safe to call
+// from another goroutine — it is how a wall-clock watchdog aborts a run
+// that hangs or livelocks. The loop checks the flag every interruptCheck
+// dispatches, so the abort lands within microseconds of real time without
+// taxing the hot path. The flag is sticky: once interrupted, RunUntil and
+// Run return immediately until the kernel is discarded.
+func (k *Kernel) Interrupt() { k.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (k *Kernel) Interrupted() bool { return k.interrupted.Load() }
+
+// interruptCheck is how many dispatches pass between polls of the
+// interrupt flag — one atomic load per 1024 events keeps the overhead
+// unmeasurable while bounding abort latency.
+const interruptCheck = 1024
+
 // Step dispatches the single next event, if any, and reports whether one ran.
 func (k *Kernel) Step() bool {
 	if len(k.heap) == 0 {
@@ -202,6 +223,9 @@ func (k *Kernel) RunUntil(deadline Time) {
 		if k.heap[0].at > deadline {
 			break
 		}
+		if k.dispatched%interruptCheck == 0 && k.interrupted.Load() {
+			return
+		}
 		k.Step()
 	}
 	if k.now < deadline {
@@ -212,7 +236,13 @@ func (k *Kernel) RunUntil(deadline Time) {
 // Run dispatches events until the queue is empty or Stop is called.
 func (k *Kernel) Run() {
 	k.stopped = false
-	for !k.stopped && k.Step() {
+	for !k.stopped {
+		if k.dispatched%interruptCheck == 0 && k.interrupted.Load() {
+			return
+		}
+		if !k.Step() {
+			break
+		}
 	}
 }
 

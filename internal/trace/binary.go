@@ -124,11 +124,15 @@ func (b *BinaryWriter) Close() error {
 	return b.bw.Flush()
 }
 
-// BinaryReader parses the binary trace format as a Source.
+// BinaryReader parses the binary trace format as a Source. Every error it
+// reports carries the byte offset of the failure, so a corrupted
+// multi-gigabyte trace file pinpoints its damage instead of just saying
+// "truncated".
 type BinaryReader struct {
 	br      *bufio.Reader
 	names   []string
 	started bool
+	off     int64 // bytes consumed so far
 	err     error
 }
 
@@ -137,12 +141,45 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 	return &BinaryReader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// readFull fills p, tracking the stream offset even on short reads.
+func (b *BinaryReader) readFull(p []byte) error {
+	n, err := io.ReadFull(b.br, p)
+	b.off += int64(n)
+	return err
+}
+
 func (b *BinaryReader) f64() (float64, error) {
 	var tmp [8]byte
-	if _, err := io.ReadFull(b.br, tmp[:]); err != nil {
+	if err := b.readFull(tmp[:]); err != nil {
 		return 0, err
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(tmp[:])), nil
+}
+
+// uvarint decodes one varint byte-by-byte so the offset stays exact.
+// atStart reports that not a single byte was consumed — the io.EOF there
+// (and only there) is a clean record boundary; EOF mid-varint comes back as
+// io.ErrUnexpectedEOF.
+func (b *BinaryReader) uvarint() (v uint64, atStart bool, err error) {
+	var shift uint
+	for i := 0; ; i++ {
+		c, err := b.br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, i == 0, err
+		}
+		b.off++
+		if i == 9 && c > 1 {
+			return 0, false, fmt.Errorf("trace: varint overflows 64 bits")
+		}
+		if c < 0x80 {
+			return v | uint64(c)<<shift, false, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
 }
 
 // Next implements Source.
@@ -154,12 +191,21 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			err = fmt.Errorf("trace: truncated binary trace")
 		}
-		b.err = err
-		return Event{}, false, err
+		b.err = fmt.Errorf("%w at byte offset %d", err, b.off)
+		return Event{}, false, b.err
+	}
+	// uv reads a mid-record varint: a clean EOF between fields is still a
+	// truncated record.
+	uv := func() (uint64, error) {
+		v, _, err := b.uvarint()
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return v, err
 	}
 	if !b.started {
 		var magic [4]byte
-		if _, err := io.ReadFull(b.br, magic[:]); err != nil {
+		if err := b.readFull(magic[:]); err != nil {
 			if err == io.EOF {
 				return Event{}, false, nil // empty trace
 			}
@@ -170,8 +216,8 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 		}
 		b.started = true
 	}
-	nameID, err := binary.ReadUvarint(b.br)
-	if err == io.EOF {
+	nameID, atStart, err := b.uvarint()
+	if err == io.EOF && atStart {
 		return Event{}, false, nil // clean end of stream
 	}
 	if err != nil {
@@ -179,7 +225,7 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 	}
 	var ev Event
 	if nameID == 0 {
-		nlen, err := binary.ReadUvarint(b.br)
+		nlen, err := uv()
 		if err != nil {
 			return fail(err)
 		}
@@ -187,7 +233,7 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 			return fail(fmt.Errorf("trace: implausible name length %d", nlen))
 		}
 		name := make([]byte, nlen)
-		if _, err := io.ReadFull(b.br, name); err != nil {
+		if err := b.readFull(name); err != nil {
 			return fail(err)
 		}
 		b.names = append(b.names, string(name))
@@ -198,7 +244,7 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 		}
 		ev.Name = b.names[nameID-1]
 	}
-	if ev.Cycle, err = binary.ReadUvarint(b.br); err != nil {
+	if ev.Cycle, err = uv(); err != nil {
 		return fail(err)
 	}
 	if ev.Time, err = b.f64(); err != nil {
@@ -207,13 +253,13 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 	if ev.Energy, err = b.f64(); err != nil {
 		return fail(err)
 	}
-	if ev.TotalPkt, err = binary.ReadUvarint(b.br); err != nil {
+	if ev.TotalPkt, err = uv(); err != nil {
 		return fail(err)
 	}
-	if ev.TotalBit, err = binary.ReadUvarint(b.br); err != nil {
+	if ev.TotalBit, err = uv(); err != nil {
 		return fail(err)
 	}
-	nextra, err := binary.ReadUvarint(b.br)
+	nextra, err := uv()
 	if err != nil {
 		return fail(err)
 	}
@@ -221,7 +267,7 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 		return fail(fmt.Errorf("trace: implausible extra count %d", nextra))
 	}
 	for i := uint64(0); i < nextra; i++ {
-		klen, err := binary.ReadUvarint(b.br)
+		klen, err := uv()
 		if err != nil {
 			return fail(err)
 		}
@@ -229,7 +275,7 @@ func (b *BinaryReader) Next() (Event, bool, error) {
 			return fail(fmt.Errorf("trace: implausible extra key length %d", klen))
 		}
 		key := make([]byte, klen)
-		if _, err := io.ReadFull(b.br, key); err != nil {
+		if err := b.readFull(key); err != nil {
 			return fail(err)
 		}
 		v, err := b.f64()

@@ -48,6 +48,12 @@ const (
 	EvIdle     = "idle"     // per-window idle-fraction sample (extension)
 	EvVFChange = "vfchange" // a DVS voltage/frequency transition (extension)
 	EvDrop     = "drop"     // a packet was dropped at the RFIFO (extension)
+	// Fault-injection events (extension): onset and end of an injected
+	// fault window, annotated with kind/unit/magnitude codes, and a packet
+	// lost to a port-drop fault. See internal/fault.
+	EvFault      = "fault"
+	EvFaultClear = "fault_clear"
+	EvFaultDrop  = "fault_drop"
 )
 
 // MEEvent returns the ME-prefixed form of a base event name, e.g.
