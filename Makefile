@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check fuzz bench bench-obs
+.PHONY: build vet test race check fuzz bench bench-obs bench-serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,13 @@ bench:
 # Like bench, but also aggregates per-run metrics into BENCH_obs.json.
 bench-obs:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' -benchobs BENCH_obs.json .
+
+# Exploration-service benchmarks (cache-hit latency, HTTP throughput),
+# with service counters aggregated into BENCH_serve.json.
+bench-serve:
+	$(GO) test -bench='BenchmarkCacheHit|BenchmarkServerThroughput' -benchtime=10x -run '^$$' -benchserve BENCH_serve.json .
+
+# End-to-end service smoke: boot dvsd with a cache, run one uncached and one
+# cached sweep, assert the cache hit counter and byte-identical artifacts.
+serve-smoke:
+	sh scripts/serve_smoke.sh

@@ -23,10 +23,12 @@ var (
 	benchObs    = flag.String("benchobs", "", "aggregate per-run metrics across all benchmarks into this JSON file (e.g. BENCH_obs.json)")
 )
 
-// TestMain exists only for -benchobs: when set, every simulation run in the
-// package (benchmarks and tests alike) reports into one metrics registry,
-// snapshotted to the given file after the run — run counts, failures and
-// the wall-time histogram.
+// TestMain exists for the metrics dump flags: with -benchobs every
+// simulation run in the package (benchmarks and tests alike) reports into
+// one metrics registry, snapshotted to the given file after the run — run
+// counts, failures and the wall-time histogram. With -benchserve the serve
+// benchmarks (see serve_bench_test.go) aggregate their cache and job
+// counters the same way.
 func TestMain(m *testing.M) {
 	flag.Parse()
 	var reg *obs.Registry
@@ -43,6 +45,12 @@ func TestMain(m *testing.M) {
 			if code == 0 {
 				code = 1
 			}
+		}
+	}
+	if err := writeBenchServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		if code == 0 {
+			code = 1
 		}
 	}
 	os.Exit(code)

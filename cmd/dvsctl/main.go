@@ -1,0 +1,436 @@
+// Command dvsctl is the client for the dvsd exploration service: it submits
+// runs and sweeps, polls job status, and fetches finished artifacts over
+// the HTTP API in internal/server.
+//
+// Usage:
+//
+//	dvsctl [-addr host:port] <command> [flags]
+//
+// Commands:
+//
+//	config  print a default run configuration as JSON (input for run/sweep)
+//	run     submit one simulation (-config FILE, "-" = stdin)
+//	sweep   submit a TDVS sweep over -thresholds × -windows
+//	jobs    list all jobs
+//	status  print one job's status
+//	wait    block until a job finishes
+//	fetch   download a finished job's result.json
+//	cancel  cancel a job
+//	health  check the daemon is up
+//	metrics dump the daemon's Prometheus metrics
+//
+// Examples:
+//
+//	dvsctl config -bench ipfwdr -level high -cycles 2000000 > cfg.json
+//	dvsctl sweep -config cfg.json -thresholds 600,800,1000 -windows 40000,80000 -wait -out result.json
+//	dvsctl run -config cfg.json -wait
+//	dvsctl status j-000001
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nepdvs/internal/cli"
+	"nepdvs/internal/core"
+	"nepdvs/internal/server"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "dvsd address (host:port)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dvsctl [-addr host:port] <command> [flags]\n")
+		fmt.Fprintf(os.Stderr, "commands: config run sweep jobs status wait fetch cancel health metrics\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := client{base: "http://" + *addr}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "config":
+		err = cmdConfig(rest)
+	case "run":
+		err = cmdRun(c, rest)
+	case "sweep":
+		err = cmdSweep(c, rest)
+	case "jobs":
+		err = cmdJobs(c)
+	case "status":
+		err = cmdStatus(c, rest)
+	case "wait":
+		err = cmdWait(c, rest)
+	case "fetch":
+		err = cmdFetch(c, rest)
+	case "cancel":
+		err = cmdCancel(c, rest)
+	case "health":
+		err = cmdHealth(c)
+	case "metrics":
+		err = cmdMetrics(c)
+	default:
+		cli.DieUsage("dvsctl", fmt.Errorf("unknown command %q", cmd))
+	}
+	if err != nil {
+		cli.Die("dvsctl", err)
+	}
+}
+
+// client is a thin JSON-over-HTTP helper bound to one daemon.
+type client struct {
+	base string
+}
+
+// do performs a request and decodes the response: into out on 2xx, into the
+// server's error envelope otherwise.
+func (c client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (%s)", e.Error, resp.Status)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	switch dst := out.(type) {
+	case nil:
+	case *[]byte:
+		*dst = raw
+	default:
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("decode %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// readConfig loads a core.RunConfig from a JSON file ("-" = stdin).
+func readConfig(path string) (core.RunConfig, error) {
+	var cfg core.RunConfig
+	if path == "" {
+		return cfg, fmt.Errorf("-config is required (use 'dvsctl config' to generate one)")
+	}
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return cfg, err
+	}
+	if err := json.Unmarshal(src, &cfg); err != nil {
+		return cfg, fmt.Errorf("parse config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func cmdConfig(args []string) error {
+	fs := flag.NewFlagSet("dvsctl config", flag.ExitOnError)
+	bench := fs.String("bench", "ipfwdr", "benchmark: ipfwdr, url, nat or md4")
+	level := fs.String("level", "high", "traffic level: low, medium or high")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	cycles := fs.Int64("cycles", 8_000_000, "run length in reference cycles")
+	formulas := fs.String("formulas", "", "LOC formulas file to embed")
+	fs.Parse(args)
+
+	lv, err := traffic.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	cfg, err := core.DefaultRunConfig(workload.Name(*bench), lv, *seed)
+	if err != nil {
+		return err
+	}
+	cfg.Cycles = *cycles
+	if *formulas != "" {
+		src, err := os.ReadFile(*formulas)
+		if err != nil {
+			return err
+		}
+		cfg.Formulas = string(src)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// submit posts a request, optionally waits for completion and fetches the
+// artifact — the shared tail of run and sweep.
+func submit(c client, path string, req any, wait bool, out string) error {
+	var sub server.SubmitResponse
+	if err := c.do(http.MethodPost, path, req, &sub); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dvsctl: job %s (deduped=%v)\n", sub.ID, sub.Deduped)
+	if !wait {
+		fmt.Println(sub.ID)
+		return nil
+	}
+	if err := waitJob(c, sub.ID); err != nil {
+		return err
+	}
+	if out == "" {
+		fmt.Println(sub.ID)
+		return nil
+	}
+	return fetchArtifact(c, sub.ID, out)
+}
+
+func cmdRun(c client, args []string) error {
+	fs := flag.NewFlagSet("dvsctl run", flag.ExitOnError)
+	config := fs.String("config", "", "run configuration JSON file (- = stdin)")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	wait := fs.Bool("wait", false, "block until the job finishes")
+	out := fs.String("out", "", "with -wait: write the artifact to this file (- = stdout)")
+	fs.Parse(args)
+	cfg, err := readConfig(*config)
+	if err != nil {
+		return err
+	}
+	return submit(c, "/v1/runs", server.RunRequest{Config: cfg, Priority: *priority}, *wait, *out)
+}
+
+func cmdSweep(c client, args []string) error {
+	fs := flag.NewFlagSet("dvsctl sweep", flag.ExitOnError)
+	config := fs.String("config", "", "base configuration JSON file (- = stdin)")
+	thresholds := fs.String("thresholds", "", "comma-separated TDVS thresholds in Mbps")
+	windows := fs.String("windows", "", "comma-separated monitor windows in cycles")
+	par := fs.Int("par", 0, "parallel points inside the sweep (0 = one per CPU)")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	wait := fs.Bool("wait", false, "block until the job finishes")
+	out := fs.String("out", "", "with -wait: write the artifact to this file (- = stdout)")
+	fs.Parse(args)
+	cfg, err := readConfig(*config)
+	if err != nil {
+		return err
+	}
+	ths, err := parseFloats(*thresholds)
+	if err != nil {
+		return fmt.Errorf("-thresholds: %w", err)
+	}
+	wins, err := parseInts(*windows)
+	if err != nil {
+		return fmt.Errorf("-windows: %w", err)
+	}
+	req := server.SweepRequest{Config: cfg, Thresholds: ths, Windows: wins, Parallelism: *par, Priority: *priority}
+	return submit(c, "/v1/sweeps", req, *wait, *out)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func oneID(cmd string, args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: dvsctl %s JOB_ID", cmd)
+	}
+	return args[0], nil
+}
+
+func cmdJobs(c client) error {
+	var raw []byte
+	if err := c.do(http.MethodGet, "/v1/jobs", nil, &raw); err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+func cmdStatus(c client, args []string) error {
+	id, err := oneID("status", args)
+	if err != nil {
+		return err
+	}
+	var raw []byte
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &raw); err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+// jobStatus mirrors the status fields wait needs; the full shape lives in
+// internal/jobs.
+type jobStatus struct {
+	State       string `json:"state"`
+	PointsDone  int    `json:"points_done"`
+	PointsTotal int    `json:"points_total"`
+	Err         string `json:"err"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+func waitJob(c client, id string) error {
+	for {
+		var st jobStatus
+		if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+			return err
+		}
+		if terminal(st.State) {
+			if st.State != "done" {
+				return fmt.Errorf("job %s %s: %s", id, st.State, st.Err)
+			}
+			return nil
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+func cmdWait(c client, args []string) error {
+	fs := flag.NewFlagSet("dvsctl wait", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	fs.Parse(args)
+	id, err := oneID("wait", fs.Args())
+	if err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		done := make(chan error, 1)
+		go func() { done <- waitJob(c, id) }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(*timeout):
+			return fmt.Errorf("job %s still running after %v", id, *timeout)
+		}
+	}
+	return waitJob(c, id)
+}
+
+func fetchArtifact(c client, id, out string) error {
+	var raw []byte
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/artifacts/result.json", nil, &raw); err != nil {
+		return err
+	}
+	if out == "" || out == "-" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dvsctl: wrote %s (%d bytes)\n", out, len(raw))
+	return nil
+}
+
+func cmdFetch(c client, args []string) error {
+	fs := flag.NewFlagSet("dvsctl fetch", flag.ExitOnError)
+	out := fs.String("out", "-", "destination file (- = stdout)")
+	fs.Parse(args)
+	id, err := oneID("fetch", fs.Args())
+	if err != nil {
+		return err
+	}
+	return fetchArtifact(c, id, *out)
+}
+
+func cmdCancel(c client, args []string) error {
+	id, err := oneID("cancel", args)
+	if err != nil {
+		return err
+	}
+	var raw []byte
+	if err := c.do(http.MethodDelete, "/v1/jobs/"+id, nil, &raw); err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+func cmdHealth(c client) error {
+	var raw []byte
+	if err := c.do(http.MethodGet, "/healthz", nil, &raw); err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+func cmdMetrics(c client) error {
+	var raw []byte
+	if err := c.do(http.MethodGet, "/metrics", nil, &raw); err != nil {
+		return err
+	}
+	_, err := os.Stdout.Write(raw)
+	return err
+}
+
+// printJSON re-indents a JSON body for the terminal.
+func printJSON(raw []byte) error {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(raw), "", "  "); err != nil {
+		os.Stdout.Write(raw)
+		return nil
+	}
+	buf.WriteByte('\n')
+	_, err := buf.WriteTo(os.Stdout)
+	return err
+}

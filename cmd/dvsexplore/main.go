@@ -14,7 +14,10 @@
 // -checkpoint makes the whole exploration restartable — finished
 // experiments are recorded in the checkpoint directory and a rerun resumes
 // them instead of re-simulating. All result files are written atomically,
-// so a killed run never leaves truncated artifacts.
+// so a killed run never leaves truncated artifacts. With -cache, completed
+// runs land in a content-addressed result cache shared with nepsim and dvsd:
+// a rerun (or an overlapping exploration) serves identical runs from disk
+// instead of simulating, and the manifest records the hit/miss counts.
 //
 // Examples:
 //
@@ -32,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"nepdvs/internal/cache"
 	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
 	"nepdvs/internal/experiments"
@@ -49,6 +53,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock watchdog per simulation run (0 = unbounded)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory: record finished experiments and resume a killed exploration")
+		cacheDir   = flag.String("cache", "", "content-addressed run cache directory (shared with nepsim and dvsd)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -60,13 +65,13 @@ func main() {
 		return
 	}
 	if err := run(*cycles, *par, *seed, *outdir, *metricsDir, *quiet,
-		*runTimeout, *checkpoint, *cpuprofile, *memprofile, flag.Args()); err != nil {
+		*runTimeout, *checkpoint, *cacheDir, *cpuprofile, *memprofile, flag.Args()); err != nil {
 		cli.Die("dvsexplore", err)
 	}
 }
 
 func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet bool,
-	runTimeout time.Duration, checkpoint, cpuprofile, memprofile string, args []string) error {
+	runTimeout time.Duration, checkpoint, cacheDir, cpuprofile, memprofile string, args []string) error {
 
 	start := time.Now()
 	prof, err := obs.StartProfiles(cpuprofile, memprofile)
@@ -85,6 +90,16 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 
 	o := experiments.Options{Cycles: cycles, Parallelism: par, Seed: seed, RunTimeout: runTimeout}
 	reg := obs.NewRegistry()
+
+	var store *cache.Store
+	if cacheDir != "" {
+		store, err = cache.Open(cacheDir, cache.Options{Registry: reg})
+		if err != nil {
+			return err
+		}
+		core.SetRunCache(store)
+		defer core.SetRunCache(nil)
+	}
 	prog := obs.NewProgress(os.Stderr, "runs", experiments.PlannedRuns(args),
 		obs.StderrIsTerminal() && !quiet)
 	remove := experiments.ObserveRuns(reg, func(wall time.Duration, failed bool) {
@@ -187,6 +202,9 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 		m.Outputs = outputs
 		m.Failures = failures
 		m.Metrics = &snap
+		if store != nil {
+			m.Cache = store.Summary()
+		}
 		m.SetWall(time.Since(start))
 		if err := m.WriteFile(filepath.Join(manifestDir, "manifest.json")); err != nil {
 			return err

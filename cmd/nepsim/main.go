@@ -17,6 +17,11 @@
 // are written, a manifest (<output>.manifest.json by default) records the
 // full configuration, seed, metrics and environment; -manifest overrides
 // the path and -manifest off disables it.
+//
+// With -cache DIR, results are stored in (and served from) a
+// content-addressed run cache shared with dvsexplore and dvsd: repeating an
+// identical invocation skips the simulation, with the hit recorded in the
+// manifest's cache block. Trace-writing runs bypass the cache.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"nepdvs/internal/cache"
 	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
 	"nepdvs/internal/fault"
@@ -54,6 +60,7 @@ type options struct {
 	manifest       string
 	faults         string
 	runTimeout     time.Duration
+	cacheDir       string
 	cpuprofile     string
 	memprofile     string
 }
@@ -79,6 +86,7 @@ func main() {
 	flag.StringVar(&o.manifest, "manifest", "", `run manifest path ("" = derive from outputs, "off" = disable)`)
 	flag.StringVar(&o.faults, "faults", "", "inject the deterministic fault plan from this JSON file")
 	flag.DurationVar(&o.runTimeout, "run-timeout", 0, "wall-clock watchdog for the run (0 = unbounded)")
+	flag.StringVar(&o.cacheDir, "cache", "", "content-addressed run cache directory (shared with dvsexplore and dvsd)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -157,6 +165,21 @@ func run(o options, rawArgs []string) error {
 		cfg.Metrics = reg
 	}
 
+	// The run cache serves identical invocations from disk. Trace-writing
+	// runs (-trace) bypass it by design: a hit cannot replay the event
+	// stream. Cache counters land in the manifest, not the -metrics
+	// snapshot — the snapshot must stay a pure function of simulation state.
+	var store *cache.Store
+	if o.cacheDir != "" {
+		cacheReg := obs.NewRegistry()
+		store, err = cache.Open(o.cacheDir, cache.Options{Registry: cacheReg})
+		if err != nil {
+			return err
+		}
+		core.SetRunCache(store)
+		defer core.SetRunCache(nil)
+	}
+
 	var closer interface{ Close() error }
 	if o.tracePath != "" {
 		f, err := os.Create(o.tracePath)
@@ -208,6 +231,9 @@ func run(o options, rawArgs []string) error {
 		m.Cycles = o.cycles
 		m.Outputs = outputs
 		m.Metrics = snap
+		if store != nil {
+			m.Cache = store.Summary()
+		}
 		m.SetWall(time.Since(start))
 		if err := m.WriteFile(path); err != nil {
 			return err

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"nepdvs/internal/obs"
+	"nepdvs/internal/trace"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+// memCache is a minimal in-memory RunCache for exercising the core hook.
+type memCache struct {
+	mu      sync.Mutex
+	entries map[string][]byte // marshaled CachedRun, to force the JSON round trip
+	hits    int
+	stores  int
+}
+
+func newMemCache() *memCache { return &memCache{entries: make(map[string][]byte)} }
+
+func (m *memCache) Lookup(key string) (*CachedRun, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	var cr CachedRun
+	if err := json.Unmarshal(b, &cr); err != nil {
+		return nil, false
+	}
+	m.hits++
+	return &cr, true
+}
+
+func (m *memCache) Store(key string, material []byte, cr *CachedRun) {
+	b, err := json.Marshal(cr)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = b
+	m.stores++
+}
+
+func cacheTestConfig(t *testing.T) RunConfig {
+	t.Helper()
+	cfg, err := DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = 300_000
+	cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	cfg.Formulas = PowerFormula(20, 0.5, 2.25, 0.05)
+	return cfg
+}
+
+func TestRunKeyStability(t *testing.T) {
+	cfg := cacheTestConfig(t)
+	k1, err := RunKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := RunKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("equal configs produced different keys: %s vs %s", k1, k2)
+	}
+
+	// Observation-only fields do not change the key.
+	withTimeout := cfg
+	withTimeout.Timeout = time.Minute
+	withTimeout.Metrics = obs.NewRegistry()
+	k3, err := RunKey(withTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != k1 {
+		t.Error("timeout/metrics changed the run key")
+	}
+
+	// Anything simulation-relevant does.
+	for name, mutate := range map[string]func(*RunConfig){
+		"seed":      func(c *RunConfig) { c.Traffic.Seed++ },
+		"cycles":    func(c *RunConfig) { c.Cycles++ },
+		"threshold": func(c *RunConfig) { c.Policy.TopThresholdMbps += 100 },
+		"formulas":  func(c *RunConfig) { c.Formulas = "" },
+	} {
+		mod := cfg
+		mutate(&mod)
+		k, err := RunKey(mod)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("changing %s did not change the run key", name)
+		}
+	}
+}
+
+func TestRunCacheHitSkipsSimulation(t *testing.T) {
+	cfg := cacheTestConfig(t)
+	c := newMemCache()
+	SetRunCache(c)
+	defer SetRunCache(nil)
+
+	var runs int
+	SetRunHook(func(time.Duration, error) { runs++ })
+	defer SetRunHook(nil)
+
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || c.stores != 1 {
+		t.Fatalf("after miss: runs=%d stores=%d, want 1/1", runs, c.stores)
+	}
+
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("cache hit fired the run hook: %d simulations", runs)
+	}
+	if c.hits != 1 {
+		t.Errorf("hits = %d, want 1", c.hits)
+	}
+
+	// The served result is byte-identical to the fresh one.
+	fb, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fb) != string(sb) {
+		t.Error("cached result differs from the fresh run")
+	}
+	if second.Stats.AvgPowerW != first.Stats.AvgPowerW {
+		t.Error("cached stats differ")
+	}
+	if len(second.LOC) != len(first.LOC) {
+		t.Fatalf("cached LOC results: %d, want %d", len(second.LOC), len(first.LOC))
+	}
+}
+
+func TestRunCacheReplaysMetrics(t *testing.T) {
+	cfg := cacheTestConfig(t)
+	c := newMemCache()
+	SetRunCache(c)
+	defer SetRunCache(nil)
+
+	live := obs.NewRegistry()
+	withMetrics := cfg
+	withMetrics.Metrics = live
+	if _, err := Run(withMetrics); err != nil {
+		t.Fatal(err)
+	}
+	liveSnap := live.Snapshot()
+
+	replayed := obs.NewRegistry()
+	withMetrics.Metrics = replayed
+	if _, err := Run(withMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if c.hits != 1 {
+		t.Fatalf("hits = %d, want 1", c.hits)
+	}
+	a, err := json.Marshal(liveSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(replayed.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("replayed metrics differ from live publish:\n%s\n%s", a, b)
+	}
+}
+
+func TestRunCacheBypassedByExtraSink(t *testing.T) {
+	cfg := cacheTestConfig(t)
+	cfg.Formulas = ""
+	cfg.ExtraSink = trace.DiscardSink{}
+	c := newMemCache()
+	SetRunCache(c)
+	defer SetRunCache(nil)
+
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.stores != 0 || c.hits != 0 {
+		t.Errorf("ExtraSink run touched the cache: stores=%d hits=%d", c.stores, c.hits)
+	}
+}
+
+// TestSweepDefaultParallelism pins the parallelism<=0 convention: the sweep
+// must complete (one worker per CPU) rather than deadlock on an empty
+// semaphore.
+func TestSweepDefaultParallelism(t *testing.T) {
+	cfg := cacheTestConfig(t)
+	cfg.Formulas = ""
+	cfg.Cycles = 100_000
+	for _, p := range []int{0, -3} {
+		rs, err := SweepTDVS(cfg, []float64{1000}, []int64{40000}, p)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if len(rs) != 1 || rs[0].Result == nil {
+			t.Fatalf("parallelism %d: bad results %+v", p, rs)
+		}
+	}
+	if _, err := Replicate(cfg, []int64{1, 2}, 0); err != nil {
+		t.Fatalf("replicate with default parallelism: %v", err)
+	}
+}

@@ -13,7 +13,10 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -244,7 +247,48 @@ func Run(cfg RunConfig) (*RunResult, error) {
 // a RunConfig.Timeout expiry) interrupts the simulation kernel and fails
 // the run; a panic inside the model is recovered into a *RunError rather
 // than killing the process, so sweeps survive individual bad runs.
-func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) {
+//
+// When a run cache is installed (SetRunCache) and the config has no
+// ExtraSink, the run is content-addressed: a hit returns the stored result
+// without simulating — the run hook does not fire, and the stored metrics
+// snapshot merges into cfg.Metrics in place of a live publish — and a miss
+// stores the completed result for the next identical run.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	cache := loadRunCache()
+	var key string
+	var material []byte
+	if cache != nil && cfg.ExtraSink == nil {
+		// A key derivation failure only disables caching for this run; it
+		// must never fail a run the simulator could complete.
+		if m, err := RunKeyMaterial(cfg); err == nil {
+			material = m
+			sum := sha256.Sum256(m)
+			key = hex.EncodeToString(sum[:])
+			if cr, ok := cache.Lookup(key); ok && cr.Result != nil {
+				res := cr.Result
+				// The stored config round-tripped through JSON and lost the
+				// non-serializable fields; hand back the caller's own.
+				res.Config = cfg
+				if cfg.Metrics != nil && cr.Metrics != nil {
+					if err := cfg.Metrics.MergeSnapshot(*cr.Metrics); err != nil {
+						return nil, fmt.Errorf("core: cached metrics for run %s: %w", key[:12], err)
+					}
+				}
+				return res, nil
+			}
+		}
+	}
+	res, snap, err := runSim(ctx, cfg, key != "")
+	if err == nil && key != "" {
+		cache.Store(key, material, &CachedRun{Result: res, Metrics: snap})
+	}
+	return res, err
+}
+
+// runSim is the simulation proper: everything RunContext does besides cache
+// bookkeeping. capture asks for a private per-run metrics snapshot (for the
+// cache entry) in addition to any cfg.Metrics publish.
+func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, snap *obs.Snapshot, err error) {
 	if h := loadRunHook(); h != nil {
 		start := time.Now()
 		defer func() { h(time.Since(start), err) }()
@@ -257,8 +301,12 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 			err = &RunError{Panicked: true, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
 		}
 	}()
+
+	// Validation failures count as failed runs — the hook above observes
+	// them — and are never cached, so a pre-validation cache lookup in
+	// RunContext can only miss.
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Compile formulas first: cheap, and user errors surface before the
@@ -267,25 +315,25 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 	if cfg.Formulas != "" {
 		fs, err := loc.ParseFile(cfg.Formulas)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		compiled := make([]*loc.Compiled, len(fs))
 		for i, f := range fs {
 			c, err := loc.Compile(f, TraceSchema())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			compiled[i] = c
 		}
 		runner, err = loc.NewRunner(loc.RunnerOptions{}, compiled...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
 	progs, err := workload.Programs(cfg.Bench, cfg.WorkParams, cfg.Chip.NumMEs, cfg.Chip.RxMEs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	chipCfg := cfg.Chip
@@ -306,7 +354,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 	k := &sim.Kernel{}
 	chip, err := npu.New(chipCfg, k, progs, sink)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Compile and arm the fault plan, if any. The plan is scope-filtered to
@@ -319,7 +367,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 		scoped := cfg.FaultPlan.ForRun(cfg.Traffic.Seed, cfg.Policy.WindowCycles, cfg.Policy.TopThresholdMbps)
 		inj, err = fault.NewInjector(scoped, sim.NewClock(cfg.Chip.RefMHz))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		chip.SetFaultInjector(inj)
 		inj.Arm(k, chip.EmitExternal)
@@ -332,7 +380,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 	if pkts == nil {
 		gen, err := traffic.NewGenerator(cfg.Traffic)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pkts = gen.GenerateUntil(dur)
 	}
@@ -349,11 +397,11 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 	case TDVS:
 		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ctl, err := dvs.NewTDVS(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.Hysteresis)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		policyStats = ctl.Stats
 	case EDVS:
@@ -361,23 +409,23 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 		// ladder's top threshold value is immaterial.
 		ctl, err := dvs.NewEDVS(k, pchip, dvs.MustLadder(1000), cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		policyStats = ctl.Stats
 	case CombinedDVS:
 		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ctl, err := dvs.NewCombined(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		policyStats = ctl.Stats
 	case OracleDVS:
 		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		arrivals := make([]sim.Time, len(pkts))
 		bits := make([]uint64, len(pkts))
@@ -388,17 +436,17 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 		window := sim.NewClock(cfg.Chip.RefMHz).Cycles(cfg.Policy.WindowCycles)
 		vols, err := dvs.WindowVolumes(arrivals, bits, window, dur)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ctl, err := dvs.NewOracle(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, vols)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		policyStats = ctl.Stats
 	}
 
 	if err := chip.Inject(pkts); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Watchdog: a goroutine that interrupts the kernel when the context
@@ -430,11 +478,11 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 		if cause == nil {
 			cause = context.Canceled
 		}
-		return nil, fmt.Errorf("core: run aborted by watchdog at %v simulated (%d events dispatched): %w", k.Now(), k.Dispatched(), cause)
+		return nil, nil, fmt.Errorf("core: run aborted by watchdog at %v simulated (%d events dispatched): %w", k.Now(), k.Dispatched(), cause)
 	}
 
 	if err := chip.SinkErr(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	res = &RunResult{
@@ -445,7 +493,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 	if runner != nil {
 		locRes, err := runner.Results()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.LOC = locRes
 	}
@@ -457,17 +505,34 @@ func RunContext(ctx context.Context, cfg RunConfig) (res *RunResult, err error) 
 		st := inj.Stats()
 		res.Faults = &st
 	}
+	// Publish metrics into the caller's registry and, when the cache needs
+	// an entry, into a private registry snapshotted for it. Publishing reads
+	// simulation state only, so publishing twice is safe and both surfaces
+	// see identical values.
+	regs := make([]*obs.Registry, 0, 2)
 	if cfg.Metrics != nil {
-		k.PublishMetrics(cfg.Metrics)
-		chip.PublishMetrics(cfg.Metrics)
+		regs = append(regs, cfg.Metrics)
+	}
+	var captureReg *obs.Registry
+	if capture {
+		captureReg = obs.NewRegistry()
+		regs = append(regs, captureReg)
+	}
+	for _, reg := range regs {
+		k.PublishMetrics(reg)
+		chip.PublishMetrics(reg)
 		if res.DVSStats != nil {
-			res.DVSStats.Publish(cfg.Metrics, "dvs")
+			res.DVSStats.Publish(reg, "dvs")
 		}
 		if inj != nil {
-			inj.PublishMetrics(cfg.Metrics)
+			inj.PublishMetrics(reg)
 		}
 	}
-	return res, nil
+	if captureReg != nil {
+		s := captureReg.Snapshot()
+		snap = &s
+	}
+	return res, snap, nil
 }
 
 // Point is one TDVS design point of the Figure 6–9 sweeps.
@@ -488,19 +553,30 @@ type SweepResult struct {
 // runWithRetry executes a run and, on failure, tries exactly once more.
 // The retry absorbs transient failures (a watchdog firing on a loaded
 // machine); deterministic failures — injected panics, config errors —
-// fail both attempts, and the second error is returned.
-func runWithRetry(cfg RunConfig) (*RunResult, error) {
-	res, err := Run(cfg)
-	if err == nil {
-		return res, nil
+// fail both attempts, and the second error is returned. A canceled context
+// is never retried: the caller asked the work to stop.
+func runWithRetry(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	res, err := RunContext(ctx, cfg)
+	if err == nil || ctx.Err() != nil {
+		return res, err
 	}
-	return Run(cfg)
+	return RunContext(ctx, cfg)
+}
+
+// defaultParallelism resolves the convention shared by every parallel
+// entry point: zero or negative means "one worker per CPU".
+func defaultParallelism(p int) int {
+	if p <= 0 {
+		return runtime.NumCPU()
+	}
+	return p
 }
 
 // SweepTDVS runs the cross product of thresholds × windows (each with the
 // base config's benchmark, traffic and formulas), in parallel across
 // goroutines — each run owns its kernel, so runs are independent. Results
-// are returned in deterministic (threshold-major) order.
+// are returned in deterministic (threshold-major) order. A parallelism of
+// zero or below means runtime.NumCPU().
 //
 // The sweep is resilient: a point whose run panics, times out or otherwise
 // fails (after one retry) records its error in its SweepResult while the
@@ -509,12 +585,19 @@ func runWithRetry(cfg RunConfig) (*RunResult, error) {
 // callers doing robustness exploration inspect the per-point Errs. Only
 // when every point fails is the result slice nil.
 func SweepTDVS(base RunConfig, thresholds []float64, windows []int64, parallelism int) ([]SweepResult, error) {
+	return SweepTDVSContext(context.Background(), base, thresholds, windows, parallelism, nil)
+}
+
+// SweepTDVSContext is SweepTDVS under a context, with an optional per-point
+// observer. Cancelling the context interrupts in-flight runs (each records
+// the cancellation as its point's error) and skips points not yet started.
+// onPoint, when non-nil, is called once per completed point, concurrently
+// from sweep workers — the job queue hangs per-job progress off it.
+func SweepTDVSContext(ctx context.Context, base RunConfig, thresholds []float64, windows []int64, parallelism int, onPoint func(SweepResult)) ([]SweepResult, error) {
 	if len(thresholds) == 0 || len(windows) == 0 {
 		return nil, fmt.Errorf("core: empty sweep axes")
 	}
-	if parallelism < 1 {
-		parallelism = 1
-	}
+	parallelism = defaultParallelism(parallelism)
 	var points []Point
 	for _, th := range thresholds {
 		for _, w := range windows {
@@ -538,12 +621,15 @@ func SweepTDVS(base RunConfig, thresholds []float64, windows []int64, parallelis
 				WindowCycles:     pt.WindowCycles,
 				Hysteresis:       base.Policy.Hysteresis,
 			}
-			res, err := runWithRetry(cfg)
+			res, err := runWithRetry(ctx, cfg)
 			if err != nil {
 				results[i] = SweepResult{Point: pt, Err: fmt.Errorf("core: point %+v: %w", pt, err)}
-				return
+			} else {
+				results[i] = SweepResult{Point: pt, Result: res}
 			}
-			results[i] = SweepResult{Point: pt, Result: res}
+			if onPoint != nil {
+				onPoint(results[i])
+			}
 		}()
 	}
 	wg.Wait()

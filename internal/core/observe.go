@@ -10,6 +10,9 @@ import (
 // including the ones spawned internally by SweepTDVS and Replicate, which
 // makes them the one place to hang live progress reporting and per-run
 // wall-time metrics without threading a callback through every sweep layer.
+// Cache hits (SetRunCache) are not runs and do not fire the hook: the
+// runs-completed counter counts simulations actually performed, which is
+// what lets tests assert a cached sweep simulated nothing.
 //
 // Wall time is inherently non-deterministic; hooks must not feed it into
 // anything that is required to be byte-stable across runs (see obs package

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -77,7 +78,8 @@ type ReplicatedResult struct {
 // Replicate runs the same configuration under each traffic seed in
 // parallel and aggregates the headline metrics. The config's own traffic
 // seed is ignored; Packets must be nil (a fixed schedule has nothing to
-// replicate over).
+// replicate over). A parallelism of zero or below means runtime.NumCPU(),
+// matching SweepTDVS.
 //
 // Replication tolerates partial failure: a seed whose run fails (each
 // worker retries once) is recorded in Failures and excluded from the
@@ -90,9 +92,7 @@ func Replicate(cfg RunConfig, seeds []int64, parallelism int) (*ReplicatedResult
 	if cfg.Packets != nil {
 		return nil, fmt.Errorf("core: cannot replicate a fixed packet schedule")
 	}
-	if parallelism < 1 {
-		parallelism = 1
-	}
+	parallelism = defaultParallelism(parallelism)
 	out := &ReplicatedResult{Runs: make([]*RunResult, len(seeds))}
 	errs := make([]error, len(seeds))
 	var wg sync.WaitGroup
@@ -106,7 +106,7 @@ func Replicate(cfg RunConfig, seeds []int64, parallelism int) (*ReplicatedResult
 			defer func() { <-sem }()
 			c := cfg
 			c.Traffic.Seed = seed
-			out.Runs[i], errs[i] = runWithRetry(c)
+			out.Runs[i], errs[i] = runWithRetry(context.Background(), c)
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,37 @@
+package jobs
+
+import "nepdvs/internal/core"
+
+// RunArtifact is the stored output of a KindRun job.
+type RunArtifact struct {
+	Result *core.RunResult `json:"result"`
+}
+
+// SweepPoint is one grid point's outcome in a serializable form (errors
+// flatten to strings; core.SweepResult's error field cannot round-trip).
+type SweepPoint struct {
+	Point  core.Point      `json:"point"`
+	Result *core.RunResult `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// SweepArtifact is the stored output of a KindSweep job, points in the
+// canonical threshold-major order.
+type SweepArtifact struct {
+	Points []SweepPoint `json:"points"`
+}
+
+// NewSweepArtifact converts sweep results to their artifact form. Both the
+// service and direct-API users go through this one function, which is what
+// makes "dvsctl fetch" byte-identical to marshaling a local core.SweepTDVS.
+func NewSweepArtifact(results []core.SweepResult) *SweepArtifact {
+	a := &SweepArtifact{Points: make([]SweepPoint, len(results))}
+	for i, r := range results {
+		p := SweepPoint{Point: r.Point, Result: r.Result}
+		if r.Err != nil {
+			p.Err = r.Err.Error()
+		}
+		a.Points[i] = p
+	}
+	return a
+}

@@ -1,0 +1,104 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"nepdvs/internal/obs"
+)
+
+// checkpointSchema versions the queue checkpoint file.
+const checkpointSchema = 1
+
+// PersistedJob is one pending job as written to a checkpoint: its ID (so a
+// client polling across a daemon restart keeps a valid handle) and the full
+// spec.
+type PersistedJob struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+}
+
+type checkpointFile struct {
+	Schema int            `json:"schema"`
+	Jobs   []PersistedJob `json:"jobs"`
+}
+
+// Checkpoint writes the pending (queued, not running) jobs to path
+// atomically, highest priority first. Call after Shutdown: the drain
+// returns interrupted jobs to the pending queue, so nothing in flight is
+// lost. An empty queue writes an empty checkpoint, clobbering any stale one.
+func (q *Queue) Checkpoint(path string) error {
+	q.mu.Lock()
+	jobs := make([]*job, 0, len(q.pending))
+	jobs = append(jobs, q.pending...)
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].spec.Priority != jobs[k].spec.Priority {
+			return jobs[i].spec.Priority > jobs[k].spec.Priority
+		}
+		return jobs[i].seq < jobs[k].seq
+	})
+	cf := checkpointFile{Schema: checkpointSchema, Jobs: make([]PersistedJob, len(jobs))}
+	for i, j := range jobs {
+		cf.Jobs[i] = PersistedJob{ID: j.id, Spec: j.spec}
+	}
+	q.mu.Unlock()
+
+	b, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	return obs.AtomicWriteFile(path, b, 0o644)
+}
+
+// Restore loads a checkpoint into the queue, preserving job IDs so clients
+// holding handles from before a restart still resolve. Jobs whose key
+// duplicates one already queued are skipped. Returns the number of jobs
+// restored. A missing file restores nothing and is not an error — a fresh
+// daemon has no checkpoint.
+func (q *Queue) Restore(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("jobs: restore: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return 0, fmt.Errorf("jobs: restore %s: %w", path, err)
+	}
+	if cf.Schema != checkpointSchema {
+		return 0, fmt.Errorf("jobs: restore %s: schema %d, want %d", path, cf.Schema, checkpointSchema)
+	}
+	restored := 0
+	for _, pj := range cf.Jobs {
+		if err := pj.Spec.Validate(); err != nil {
+			return restored, fmt.Errorf("jobs: restore %s: job %s: %w", path, pj.ID, err)
+		}
+		key, err := pj.Spec.Key()
+		if err != nil {
+			return restored, fmt.Errorf("jobs: restore %s: job %s: %w", path, pj.ID, err)
+		}
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return restored, ErrClosed
+		}
+		if _, dup := q.byKey[key]; dup {
+			q.mu.Unlock()
+			continue
+		}
+		if _, taken := q.byID[pj.ID]; taken {
+			// An ID collision with a live job: mint a fresh ID rather than
+			// corrupt the index.
+			q.insertLocked("", key, pj.Spec)
+		} else {
+			q.insertLocked(pj.ID, key, pj.Spec)
+		}
+		q.mu.Unlock()
+		restored++
+	}
+	return restored, nil
+}

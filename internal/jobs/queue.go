@@ -1,0 +1,480 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nepdvs/internal/obs"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions are possible.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+var (
+	// ErrQueueFull is the backpressure signal: the pending queue is at
+	// capacity and the submission was rejected. Callers retry later — the
+	// HTTP layer maps this to 503 with a Retry-After.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects submissions to a queue that is shutting down.
+	ErrClosed = errors.New("jobs: queue closed")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotDone reports an artifact request for an unfinished job.
+	ErrNotDone = errors.New("jobs: job not finished")
+)
+
+// Status is the externally visible snapshot of one job.
+type Status struct {
+	ID          string `json:"id"`
+	Key         string `json:"key"`
+	Kind        Kind   `json:"kind"`
+	State       State  `json:"state"`
+	Priority    int    `json:"priority"`
+	PointsDone  int    `json:"points_done"`
+	PointsTotal int    `json:"points_total"`
+	Err         string `json:"err,omitempty"`
+}
+
+// job is the queue's internal record.
+type job struct {
+	id          string
+	key         string
+	spec        Spec
+	seq         uint64
+	state       State
+	err         string
+	pointsDone  int
+	pointsTotal int
+	artifact    json.RawMessage
+	cancel      context.CancelFunc
+	userCancel  bool
+	requeue     bool
+	done        chan struct{}
+	heapIndex   int // position in pending, -1 when not queued
+}
+
+// pendingHeap orders queued jobs by (priority desc, submission seq asc).
+type pendingHeap []*job
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].spec.Priority != h[j].spec.Priority {
+		return h[i].spec.Priority > h[j].spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *pendingHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIndex = len(*h)
+	*h = append(*h, j)
+}
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*h = old[:n-1]
+	return j
+}
+
+// Executor turns a spec into its artifact. progress, when called, reports
+// the running count of completed points. The production executor is
+// Execute; tests substitute deterministic stand-ins.
+type Executor func(ctx context.Context, spec Spec, progress func(done int)) (any, error)
+
+// Options configures a Queue.
+type Options struct {
+	// Workers is the pool size; zero or below means runtime.NumCPU().
+	Workers int
+	// Capacity bounds the pending (not yet running) queue; submissions past
+	// it fail with ErrQueueFull. Zero or below means 64.
+	Capacity int
+	// Registry receives the queue's counters and gauges. Nil means no
+	// metrics.
+	Registry *obs.Registry
+	// Exec overrides the executor; nil means Execute (real simulations).
+	Exec Executor
+}
+
+// Queue is a bounded priority job queue with a worker pool, singleflight
+// dedup on spec content, cancellation and checkpoint/resume. All methods
+// are safe for concurrent use.
+type Queue struct {
+	workers  int
+	capacity int
+	exec     Executor
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	submitted *obs.Counter
+	deduped   *obs.Counter
+	rejected  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	gQueued   *obs.Gauge
+	gRunning  *obs.Gauge
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending pendingHeap
+	byID    map[string]*job
+	byKey   map[string]*job // queued or running only: the dedup window
+	running int
+	closed  bool
+	nextSeq uint64
+	wg      sync.WaitGroup
+}
+
+// New builds a queue and starts its workers.
+func New(opts Options) *Queue {
+	q := &Queue{
+		workers:  defaultWorkers(opts.Workers),
+		capacity: opts.Capacity,
+		exec:     opts.Exec,
+		byID:     make(map[string]*job),
+		byKey:    make(map[string]*job),
+	}
+	if q.capacity <= 0 {
+		q.capacity = 64
+	}
+	if q.exec == nil {
+		q.exec = Execute
+	}
+	if r := opts.Registry; r != nil {
+		q.submitted = r.Counter("jobs_submitted")
+		q.deduped = r.Counter("jobs_deduped")
+		q.rejected = r.Counter("jobs_rejected")
+		q.completed = r.Counter("jobs_completed")
+		q.failed = r.Counter("jobs_failed")
+		q.canceled = r.Counter("jobs_canceled")
+		q.gQueued = r.Gauge("jobs_queued")
+		q.gRunning = r.Gauge("jobs_running")
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < q.workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// gauges refreshes the queued/running gauges; callers hold q.mu.
+func (q *Queue) gauges() {
+	if q.gQueued != nil {
+		q.gQueued.Set(float64(len(q.pending)))
+	}
+	if q.gRunning != nil {
+		q.gRunning.Set(float64(q.running))
+	}
+}
+
+// Submit validates and enqueues a spec. When an identical spec (same
+// content key) is already queued or running, the submission dedups onto it:
+// the existing job's ID is returned with deduped true and no new work is
+// created. A full queue rejects with ErrQueueFull.
+func (q *Queue) Submit(spec Spec) (id string, deduped bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return "", false, err
+	}
+	key, err := spec.Key()
+	if err != nil {
+		return "", false, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return "", false, ErrClosed
+	}
+	if j, ok := q.byKey[key]; ok {
+		inc(q.deduped)
+		return j.id, true, nil
+	}
+	if len(q.pending) >= q.capacity {
+		inc(q.rejected)
+		return "", false, ErrQueueFull
+	}
+	j := q.insertLocked("", key, spec)
+	inc(q.submitted)
+	return j.id, false, nil
+}
+
+// insertLocked creates a job in state queued and pushes it onto the heap.
+// An empty id means "mint one". Callers hold q.mu.
+func (q *Queue) insertLocked(id, key string, spec Spec) *job {
+	q.nextSeq++
+	if id == "" {
+		id = fmt.Sprintf("j-%06d", q.nextSeq)
+	}
+	total := 1
+	if spec.Kind == KindSweep && spec.Sweep != nil {
+		total = spec.Sweep.Points()
+	}
+	j := &job{
+		id:          id,
+		key:         key,
+		spec:        spec,
+		seq:         q.nextSeq,
+		state:       StateQueued,
+		pointsTotal: total,
+		done:        make(chan struct{}),
+		heapIndex:   -1,
+	}
+	q.byID[id] = j
+	q.byKey[key] = j
+	heap.Push(&q.pending, j)
+	q.gauges()
+	q.cond.Signal()
+	return j
+}
+
+// Status returns a job's snapshot.
+func (q *Queue) Status(id string) (Status, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return q.statusLocked(j), nil
+}
+
+func (q *Queue) statusLocked(j *job) Status {
+	return Status{
+		ID:          j.id,
+		Key:         j.key,
+		Kind:        j.spec.Kind,
+		State:       j.state,
+		Priority:    j.spec.Priority,
+		PointsDone:  j.pointsDone,
+		PointsTotal: j.pointsTotal,
+		Err:         j.err,
+	}
+}
+
+// Statuses lists every known job, submission order.
+func (q *Queue) Statuses() []Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Status, 0, len(q.byID))
+	for _, j := range q.byID {
+		out = append(out, q.statusLocked(j))
+	}
+	// Map order is random; sort by ID (zero-padded, so lexicographic is
+	// submission order).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Artifact returns a finished job's marshaled output. ErrNotDone while the
+// job is queued or running; failed and canceled jobs have no artifact.
+func (q *Queue) Artifact(id string) (json.RawMessage, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if !j.state.Terminal() {
+		return nil, ErrNotDone
+	}
+	if j.artifact == nil {
+		return nil, fmt.Errorf("jobs: job %s %s: %w", id, j.state, ErrNotDone)
+	}
+	return j.artifact, nil
+}
+
+// Wait blocks until the job reaches a terminal state (returning its final
+// status) or ctx is done.
+func (q *Queue) Wait(ctx context.Context, id string) (Status, error) {
+	q.mu.Lock()
+	j, ok := q.byID[id]
+	q.mu.Unlock()
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return q.Status(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Cancel stops a job: a queued job is removed from the heap immediately; a
+// running job has its context canceled and reaches StateCanceled when its
+// executor unwinds. Canceling a terminal job is a no-op.
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		heap.Remove(&q.pending, j.heapIndex)
+		delete(q.byKey, j.key)
+		j.state = StateCanceled
+		j.err = "canceled before start"
+		close(j.done)
+		inc(q.canceled)
+		q.gauges()
+	case StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// worker is the pool loop: pop the highest-priority job, execute, record.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for !q.closed && len(q.pending) == 0 {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&q.pending).(*job)
+		j.state = StateRunning
+		ctx, cancel := context.WithCancel(q.baseCtx)
+		j.cancel = cancel
+		q.running++
+		q.gauges()
+		q.mu.Unlock()
+
+		artifact, err := q.exec(ctx, j.spec, func(done int) {
+			q.mu.Lock()
+			if done > j.pointsDone {
+				j.pointsDone = done
+			}
+			q.mu.Unlock()
+		})
+		cancel()
+
+		q.mu.Lock()
+		q.running--
+		switch {
+		case ctx.Err() != nil && j.requeue:
+			// Drain timeout interrupted it: back to the queue so the
+			// checkpoint captures it. The run cache makes the replay cheap.
+			j.state = StateQueued
+			j.requeue = false
+			j.cancel = nil
+			j.pointsDone = 0
+			heap.Push(&q.pending, j)
+		case ctx.Err() != nil && j.userCancel:
+			j.state = StateCanceled
+			j.err = context.Cause(ctx).Error()
+			delete(q.byKey, j.key)
+			close(j.done)
+			inc(q.canceled)
+		case err != nil:
+			j.state = StateFailed
+			j.err = err.Error()
+			delete(q.byKey, j.key)
+			close(j.done)
+			inc(q.failed)
+		default:
+			if b, merr := json.Marshal(artifact); merr != nil {
+				j.state = StateFailed
+				j.err = fmt.Sprintf("marshal artifact: %v", merr)
+				inc(q.failed)
+			} else {
+				j.artifact = b
+				j.state = StateDone
+				inc(q.completed)
+			}
+			delete(q.byKey, j.key)
+			close(j.done)
+		}
+		q.gauges()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// Shutdown drains the queue: no new submissions, no new job starts, and
+// in-flight jobs get until ctx expires to finish. Jobs still running at the
+// deadline are interrupted and returned to the pending queue (state queued)
+// so a following Checkpoint persists them. Workers are stopped before
+// Shutdown returns. The error is ctx's, when the drain timed out.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	for q.running > 0 && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if q.running > 0 {
+		// Deadline hit: interrupt stragglers, flag them for requeue.
+		for _, j := range q.byID {
+			if j.state == StateRunning && j.cancel != nil {
+				j.requeue = true
+				j.cancel()
+			}
+		}
+		for q.running > 0 {
+			q.cond.Wait()
+		}
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+	q.baseCancel()
+	return ctx.Err()
+}
+
+// Pending returns the number of queued (not running) jobs.
+func (q *Queue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}

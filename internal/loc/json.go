@@ -1,0 +1,37 @@
+package loc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Formulas serialize as their concrete syntax rather than as expression
+// trees: String() renders parseable source, so the source text plus the name
+// label is a complete, stable wire form. Re-parsing on load reconstructs the
+// AST; positions refer to the serialized source, which is the only source
+// the reconstructed formula has.
+type formulaJSON struct {
+	Name string `json:"name,omitempty"`
+	Src  string `json:"src"`
+}
+
+// MarshalJSON renders the formula as {name, src} with src in parseable
+// concrete syntax.
+func (f *Formula) MarshalJSON() ([]byte, error) {
+	return json.Marshal(formulaJSON{Name: f.Name, Src: f.String()})
+}
+
+// UnmarshalJSON re-parses a formula serialized by MarshalJSON.
+func (f *Formula) UnmarshalJSON(b []byte) error {
+	var fj formulaJSON
+	if err := json.Unmarshal(b, &fj); err != nil {
+		return err
+	}
+	parsed, err := Parse(fj.Src)
+	if err != nil {
+		return fmt.Errorf("loc: formula %q: %w", fj.Name, err)
+	}
+	parsed.Name = fj.Name
+	*f = *parsed
+	return nil
+}

@@ -1,0 +1,47 @@
+package loc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFormulaJSONRoundTrip(t *testing.T) {
+	srcs := []string{
+		"power: (energy(forward[i+100]) - energy(forward[i])) / (time(forward[i+100]) - time(forward[i])) cdf [0.5, 2.25, 0.01];",
+		"total_pkt(forward[i]) == i + 1;",
+		"idle_m3: idle_frac(m3_idle[i]) hist [0, 0.5, 0.05];",
+	}
+	for _, src := range srcs {
+		fs, err := ParseFile(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		f := fs[0]
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", src, err)
+		}
+		var back Formula
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back.Name != f.Name || back.Kind != f.Kind || back.String() != f.String() {
+			t.Errorf("round trip of %q changed the formula: %q vs %q", src, back.String(), f.String())
+		}
+		// Byte stability: marshaling the reconstruction reproduces the bytes.
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("not byte-stable:\n%s\n%s", b, b2)
+		}
+	}
+}
+
+func TestFormulaJSONRejectsBadSource(t *testing.T) {
+	var f Formula
+	if err := json.Unmarshal([]byte(`{"src":"not a formula ((("}`), &f); err == nil {
+		t.Error("want parse error on malformed source")
+	}
+}

@@ -37,6 +37,10 @@ type Manifest struct {
 	Failures []string `json:"failures,omitempty"`
 	// Metrics is the registry snapshot at completion.
 	Metrics *Snapshot `json:"metrics,omitempty"`
+	// Cache summarizes run-cache activity during the invocation, when a
+	// content-addressed run cache was attached (nepsim/dvsexplore -cache,
+	// or a dvsd daemon). Hits are simulations that were skipped entirely.
+	Cache *CacheSummary `json:"cache,omitempty"`
 	// GoVersion is the toolchain that built the binary.
 	GoVersion string `json:"go_version"`
 	// GOOS/GOARCH pin the platform.
@@ -44,6 +48,23 @@ type Manifest struct {
 	GOARCH string `json:"goarch"`
 	// WallMS is the invocation's wall-clock duration in milliseconds.
 	WallMS float64 `json:"wall_ms"`
+}
+
+// CacheSummary records what the run cache did for one invocation. It is a
+// plain value (not a live counter view) so manifests stay self-contained.
+type CacheSummary struct {
+	// Dir is the cache directory.
+	Dir string `json:"dir"`
+	// Hits counts lookups served from the store — simulations skipped.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that fell through to a real simulation.
+	Misses uint64 `json:"misses"`
+	// Stores counts entries written after cache-miss runs.
+	Stores uint64 `json:"stores"`
+	// Errors counts corrupt or unreadable entries (each also a miss).
+	Errors uint64 `json:"errors,omitempty"`
+	// Evictions counts entries removed to respect the entry budget.
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
 // NewManifest starts a manifest for the running tool, stamping the

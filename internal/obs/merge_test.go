@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshot(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("runs").Add(3)
+	src.Gauge("depth").Set(7)
+	h := src.Histogram("wall_ms", []float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Counter("runs").Add(2)
+	if err := dst.MergeSnapshot(snap); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if got := dst.Counter("runs").Value(); got != 5 {
+		t.Errorf("runs = %d, want 5", got)
+	}
+	if got := dst.Gauge("depth").Value(); got != 7 {
+		t.Errorf("depth = %v, want 7", got)
+	}
+	hs := dst.Snapshot().Histograms["wall_ms"]
+	if hs.Count != 2 || hs.Sum != 55 {
+		t.Errorf("histogram count/sum = %d/%v, want 2/55", hs.Count, hs.Sum)
+	}
+
+	// Merging the same snapshot again doubles counters and histogram counts
+	// (gauges stay adopted) — the accumulate semantics of shared registries.
+	if err := dst.MergeSnapshot(snap); err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	if got := dst.Counter("runs").Value(); got != 8 {
+		t.Errorf("runs after second merge = %d, want 8", got)
+	}
+
+	// An equal registry built only from merges snapshots identically: the
+	// byte-stability property cached metrics rely on.
+	a, b := NewRegistry(), NewRegistry()
+	if err := a.MergeSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MergeSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Error("merged registries differ")
+	}
+}
+
+func TestMergeSnapshotTypeClash(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("x").Inc()
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Gauge("x").Set(1)
+	if err := dst.MergeSnapshot(snap); err == nil {
+		t.Error("want type-clash error, got none")
+	}
+}
+
+func TestMergeSnapshotEdgeMismatch(t *testing.T) {
+	src := NewRegistry()
+	src.Histogram("h", []float64{1, 2}).Observe(1)
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Histogram("h", []float64{1, 3}).Observe(1)
+	if err := dst.MergeSnapshot(snap); err == nil {
+		t.Error("want edge-mismatch error, got none")
+	}
+}

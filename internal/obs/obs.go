@@ -113,6 +113,28 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// mergeSnapshot folds a previously captured snapshot's observations into
+// the histogram. The bucket edges must match exactly.
+func (h *Histogram) mergeSnapshot(s HistogramSnapshot) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Edges) != len(h.edges) || len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("obs: histogram shape mismatch: %d/%d edges, %d/%d buckets",
+			len(s.Edges), len(h.edges), len(s.Counts), len(h.counts))
+	}
+	for i, e := range s.Edges {
+		if e != h.edges[i] {
+			return fmt.Errorf("obs: histogram edge %d mismatch: %v vs %v", i, e, h.edges[i])
+		}
+	}
+	for i, c := range s.Counts {
+		h.counts[i] += c
+	}
+	h.sum += s.Sum
+	h.n += s.Count
+	return nil
+}
+
 // snapshot copies the histogram state under its lock.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
@@ -286,6 +308,114 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// MergeSnapshot folds a snapshot back into the registry: counters add their
+// counts, gauges adopt the snapshot's value, and histograms add their bucket
+// counts (creating any metric that does not exist yet). This is how a cached
+// run's stored metrics replay into a live registry — merging the snapshot a
+// simulation once produced is observationally equivalent to the run
+// publishing its metrics again. It returns an error when a snapshot metric
+// name is already registered as a different type, or when histogram bucket
+// edges disagree; metrics merged before the mismatch stay merged.
+func (r *Registry) MergeSnapshot(s Snapshot) error {
+	// Deterministic iteration so a multi-error merge always reports the
+	// same first failure.
+	for _, name := range sortedKeys(s.Counters) {
+		c, err := r.typedCounter(name)
+		if err != nil {
+			return err
+		}
+		c.Add(s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g, err := r.typedGauge(name)
+		if err != nil {
+			return err
+		}
+		g.Set(s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		h, err := r.typedHistogram(name, hs.Edges)
+		if err != nil {
+			return err
+		}
+		if err := h.mergeSnapshot(hs); err != nil {
+			return fmt.Errorf("%w (metric %q)", err, name)
+		}
+	}
+	return nil
+}
+
+// typedCounter is Counter with the type-clash panic converted to an error,
+// for merge paths fed by external documents rather than code.
+func (r *Registry) typedCounter(name string) (*Counter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c, nil
+	}
+	if _, ok := r.gauges[name]; ok {
+		return nil, fmt.Errorf("obs: %q already registered as a gauge", name)
+	}
+	if _, ok := r.hists[name]; ok {
+		return nil, fmt.Errorf("obs: %q already registered as a histogram", name)
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c, nil
+}
+
+func (r *Registry) typedGauge(name string) (*Gauge, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g, nil
+	}
+	if _, ok := r.counters[name]; ok {
+		return nil, fmt.Errorf("obs: %q already registered as a counter", name)
+	}
+	if _, ok := r.hists[name]; ok {
+		return nil, fmt.Errorf("obs: %q already registered as a histogram", name)
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g, nil
+}
+
+func (r *Registry) typedHistogram(name string, edges []float64) (*Histogram, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h, nil
+	}
+	if _, ok := r.counters[name]; ok {
+		return nil, fmt.Errorf("obs: %q already registered as a counter", name)
+	}
+	if _, ok := r.gauges[name]; ok {
+		return nil, fmt.Errorf("obs: %q already registered as a gauge", name)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("obs: histogram %q snapshot has no bucket edges", name)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("obs: histogram %q edges not ascending: %v", name, edges)
+		}
+	}
+	h := &Histogram{edges: append([]float64(nil), edges...), counts: make([]uint64, len(edges)+1)}
+	r.hists[name] = h
+	return h, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Names returns every registered metric name, sorted.

@@ -1,0 +1,214 @@
+// Package server is the HTTP face of the exploration service: a stdlib
+// net/http API over a jobs.Queue. It translates requests into job specs,
+// queue errors into status codes (a full queue is 503 with a Retry-After,
+// not a failure), and finished jobs into artifact downloads. The daemon
+// wrapping it is cmd/dvsd; the client is cmd/dvsctl.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST   /v1/runs                          submit one simulation
+//	POST   /v1/sweeps                        submit a TDVS (threshold, window) sweep
+//	GET    /v1/jobs                          list all jobs
+//	GET    /v1/jobs/{id}                     one job's status
+//	DELETE /v1/jobs/{id}                     cancel a job
+//	GET    /v1/jobs/{id}/artifacts/result.json   finished job's output
+//	GET    /metrics                          Prometheus text exposition
+//	GET    /healthz                          liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/jobs"
+	"nepdvs/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; a run config with an inline packet
+// schedule can be large, but nothing legitimate approaches this.
+const maxBodyBytes = 8 << 20
+
+// RunRequest is the POST /v1/runs body.
+type RunRequest struct {
+	Config   core.RunConfig `json:"config"`
+	Priority int            `json:"priority,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweeps body.
+type SweepRequest struct {
+	Config      core.RunConfig `json:"config"`
+	Thresholds  []float64      `json:"thresholds"`
+	Windows     []int64        `json:"windows"`
+	Parallelism int            `json:"parallelism,omitempty"`
+	Priority    int            `json:"priority,omitempty"`
+}
+
+// SubmitResponse answers a successful submission.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Deduped reports that an identical job was already queued or running
+	// and this submission attached to it instead of creating new work.
+	Deduped bool `json:"deduped"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server routes HTTP traffic onto a job queue. Create with New; it
+// implements http.Handler.
+type Server struct {
+	queue    *jobs.Queue
+	registry *obs.Registry
+	mux      *http.ServeMux
+}
+
+// Options configures a Server.
+type Options struct {
+	// Queue executes the submitted work. Required.
+	Queue *jobs.Queue
+	// Registry backs GET /metrics. Nil serves an empty exposition.
+	Registry *obs.Registry
+}
+
+// New builds the server and its routes.
+func New(opts Options) *Server {
+	s := &Server{queue: opts.Queue, registry: opts.Registry, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/result.json", s.handleArtifact)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads a bounded JSON body, rejecting unknown fields so a typo'd
+// config key fails loudly instead of silently simulating the default.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// submit pushes a spec into the queue and maps its errors: validation is
+// the caller's fault (400), a full queue is overload (503 + Retry-After), a
+// draining queue is 503 without one.
+func (s *Server) submit(w http.ResponseWriter, spec jobs.Spec) {
+	id, deduped, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Deduped: deduped})
+	}
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.submit(w, jobs.Spec{Kind: jobs.KindRun, Config: req.Config, Priority: req.Priority})
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.submit(w, jobs.Spec{
+		Kind:   jobs.KindSweep,
+		Config: req.Config,
+		Sweep: &jobs.SweepSpec{
+			Thresholds:  req.Thresholds,
+			Windows:     req.Windows,
+			Parallelism: req.Parallelism,
+		},
+		Priority: req.Priority,
+	})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.Statuses())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.queue.Status(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.queue.Cancel(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, err := s.queue.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	raw, err := s.queue.Artifact(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, jobs.ErrNotDone):
+		// 409: the job exists but is not in a state that has this artifact.
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.registry == nil {
+		return
+	}
+	s.registry.Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// histogramState is the wire form of a Histogram. The run cache and the
+// exploration service serialize LOC distribution results, so the histogram
+// must round-trip through JSON without losing any of its internal state.
+// The observed min/max are omitted when the histogram is empty: their
+// in-memory sentinels are ±Inf, which JSON cannot encode.
+type histogramState struct {
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	Step   float64  `json:"step"`
+	Counts []uint64 `json:"counts"`
+	NaNs   uint64   `json:"nans,omitempty"`
+	Sum    float64  `json:"sum"`
+	SumSq  float64  `json:"sum_sq"`
+	Lo     *float64 `json:"lo,omitempty"`
+	Hi     *float64 `json:"hi,omitempty"`
+}
+
+// MarshalJSON serializes the histogram, including the under/overflow bins
+// and the running moments, so UnmarshalJSON reconstructs an identical value.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	s := histogramState{
+		Min: h.Min, Max: h.Max, Step: h.Step,
+		Counts: h.counts,
+		NaNs:   h.nan,
+		Sum:    h.sum,
+		SumSq:  h.sumSq,
+	}
+	if h.total > 0 {
+		lo, hi := h.lo, h.hi
+		s.Lo, s.Hi = &lo, &hi
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON reconstructs a histogram written by MarshalJSON, validating
+// the analysis period and the bin count so a corrupted document cannot
+// produce an out-of-shape histogram.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var s histogramState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	fresh, err := NewHistogram(s.Min, s.Max, s.Step)
+	if err != nil {
+		return err
+	}
+	if len(s.Counts) != len(fresh.counts) {
+		return fmt.Errorf("stats: histogram <%v, %v, %v> wants %d bins, document has %d",
+			s.Min, s.Max, s.Step, len(fresh.counts), len(s.Counts))
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	fresh.counts = append([]uint64(nil), s.Counts...)
+	fresh.total = total
+	fresh.nan = s.NaNs
+	fresh.sum = s.Sum
+	fresh.sumSq = s.SumSq
+	if s.Lo != nil {
+		fresh.lo = *s.Lo
+	}
+	if s.Hi != nil {
+		fresh.hi = *s.Hi
+	}
+	if total > 0 && (math.IsInf(fresh.lo, 0) || math.IsInf(fresh.hi, 0)) {
+		return fmt.Errorf("stats: histogram with %d samples lacks observed min/max", total)
+	}
+	*h = *fresh
+	return nil
+}

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Smoke test for the exploration service: build dvsd/dvsctl, boot the daemon
+# with a fresh run cache, submit the same sweep twice, and assert the second
+# submission was served entirely from cache (cache_hits > 0, zero new
+# simulations) with a byte-identical artifact. Exercises the same surface as
+# `make serve-smoke` in CI.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+trap 'kill "$DVSD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+echo "serve-smoke: building tools"
+$GO build -o "$WORK/bin/" ./cmd/dvsd ./cmd/dvsctl
+
+DVSD="$WORK/bin/dvsd"
+DVSCTL="$WORK/bin/dvsctl"
+
+"$DVSD" -addr 127.0.0.1:0 -addr-file "$WORK/dvsd.addr" \
+    -cache "$WORK/cache" -state "$WORK/queue.json" -workers 2 &
+DVSD_PID=$!
+
+# Wait for the daemon to publish its address.
+i=0
+while [ ! -s "$WORK/dvsd.addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: dvsd never wrote its address file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/dvsd.addr")
+echo "serve-smoke: dvsd on $ADDR"
+
+"$DVSCTL" -addr "$ADDR" health >/dev/null
+
+"$DVSCTL" -addr "$ADDR" config -bench ipfwdr -level high -cycles 400000 >"$WORK/cfg.json"
+
+echo "serve-smoke: first sweep (uncached)"
+"$DVSCTL" -addr "$ADDR" sweep -config "$WORK/cfg.json" \
+    -thresholds 800,1000 -windows 40000 -wait -out "$WORK/a.json"
+
+runs_after_first=$("$DVSCTL" -addr "$ADDR" metrics | awk '$1 == "experiments_runs_completed" {print $2}')
+if [ "${runs_after_first:-0}" -eq 0 ]; then
+    echo "serve-smoke: first sweep performed no simulations?" >&2
+    exit 1
+fi
+
+echo "serve-smoke: second sweep (cached)"
+"$DVSCTL" -addr "$ADDR" sweep -config "$WORK/cfg.json" \
+    -thresholds 800,1000 -windows 40000 -wait -out "$WORK/b.json"
+
+metrics=$("$DVSCTL" -addr "$ADDR" metrics)
+runs_after_second=$(printf '%s\n' "$metrics" | awk '$1 == "experiments_runs_completed" {print $2}')
+hits=$(printf '%s\n' "$metrics" | awk '$1 == "cache_hits" {print $2}')
+
+if [ "$runs_after_second" -ne "$runs_after_first" ]; then
+    echo "serve-smoke: FAIL: repeated sweep simulated ($runs_after_first -> $runs_after_second runs)" >&2
+    exit 1
+fi
+if [ "${hits:-0}" -eq 0 ]; then
+    echo "serve-smoke: FAIL: cache_hits is zero after a repeated sweep" >&2
+    exit 1
+fi
+if ! cmp -s "$WORK/a.json" "$WORK/b.json"; then
+    echo "serve-smoke: FAIL: cached artifact differs from the uncached one" >&2
+    exit 1
+fi
+
+kill -TERM "$DVSD_PID"
+wait "$DVSD_PID" || true
+if [ ! -f "$WORK/queue.json" ]; then
+    echo "serve-smoke: FAIL: no queue checkpoint after graceful shutdown" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK (runs=$runs_after_first, cache_hits=$hits)"

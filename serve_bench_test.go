@@ -1,0 +1,127 @@
+package nepdvs
+
+// Benchmarks for the exploration service: cache-hit latency (how fast an
+// identical run is served from the content-addressed store, versus
+// simulating) and HTTP round-trip throughput through the full
+// server → queue → executor path with a stub executor. With -benchserve the
+// service metrics (cache and jobs counters) are snapshotted to the given
+// JSON file, the serve-side counterpart of -benchobs.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nepdvs/internal/cache"
+	"nepdvs/internal/core"
+	"nepdvs/internal/jobs"
+	"nepdvs/internal/obs"
+	"nepdvs/internal/server"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+var benchServe = flag.String("benchserve", "", "write service metrics (cache + jobs counters) to this JSON file (e.g. BENCH_serve.json)")
+
+// serveReg aggregates service metrics across the serve benchmarks when
+// -benchserve is set; TestMain snapshots it on exit.
+var serveReg *obs.Registry
+
+func serveRegistry() *obs.Registry {
+	if *benchServe == "" {
+		return obs.NewRegistry()
+	}
+	if serveReg == nil {
+		serveReg = obs.NewRegistry()
+	}
+	return serveReg
+}
+
+// writeBenchServe dumps the aggregated service metrics; called from
+// TestMain after the benchmarks run.
+func writeBenchServe() error {
+	if *benchServe == "" || serveReg == nil {
+		return nil
+	}
+	return serveReg.Snapshot().WriteJSONFile(*benchServe)
+}
+
+// BenchmarkCacheHit measures serving one simulation run from the on-disk
+// content-addressed cache — the fixed cost a repeated exploration pays per
+// point instead of a simulation.
+func BenchmarkCacheHit(b *testing.B) {
+	reg := serveRegistry()
+	store, err := cache.Open(b.TempDir(), cache.Options{Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.SetRunCache(store)
+	defer core.SetRunCache(nil)
+
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Cycles = *benchCycles
+	cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	if _, err := core.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerThroughput measures HTTP round trips through the full
+// submit → execute → poll → fetch path with an executor stub, isolating the
+// service overhead from simulation cost. Each iteration uses a distinct
+// config so dedup never collapses the work.
+func BenchmarkServerThroughput(b *testing.B) {
+	reg := serveRegistry()
+	q := jobs.New(jobs.Options{Workers: 4, Capacity: 1024, Registry: reg,
+		Exec: func(ctx context.Context, spec jobs.Spec, progress func(int)) (any, error) {
+			if progress != nil {
+				progress(1)
+			}
+			return &jobs.RunArtifact{}, nil
+		}})
+	defer q.Shutdown(context.Background())
+	srv := httptest.NewServer(server.New(server.Options{Queue: q, Registry: reg}))
+	defer srv.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, _ := json.Marshal(server.RunRequest{Config: core.RunConfig{Cycles: int64(1_000_000 + i)}})
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sub server.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: %d", resp.StatusCode)
+		}
+		if _, err := q.Wait(context.Background(), sub.ID); err != nil {
+			b.Fatal(err)
+		}
+		art, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID + "/artifacts/result.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		art.Body.Close()
+		if art.StatusCode != http.StatusOK {
+			b.Fatalf("artifact: %d", art.StatusCode)
+		}
+	}
+}

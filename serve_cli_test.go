@@ -1,0 +1,232 @@
+package nepdvs
+
+// End-to-end test of the exploration service: boot dvsd on a loopback port,
+// drive it with dvsctl (submit a TDVS sweep, poll, fetch the artifact), and
+// assert the served result is byte-identical to running the same sweep
+// directly through core.SweepTDVS. Skipped in -short mode.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/jobs"
+	"nepdvs/internal/traffic"
+	"nepdvs/internal/workload"
+)
+
+// startDaemon boots dvsd with -addr 127.0.0.1:0 and returns its bound
+// address plus a stop function that SIGTERMs it and waits for the drain.
+func startDaemon(t *testing.T, bins string, extra ...string) (addr string, stop func()) {
+	t.Helper()
+	work := t.TempDir()
+	addrFile := filepath.Join(work, "dvsd.addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-workers", "2"}, extra...)
+	cmd := exec.Command(filepath.Join(bins, "dvsd"), args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start dvsd: %v", err)
+	}
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			<-done
+			t.Error("dvsd did not drain within 30s")
+		}
+	}
+	t.Cleanup(stop)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b)), stop
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("dvsd never wrote its address file")
+	return "", nil
+}
+
+func TestServeSweepMatchesDirect(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	addr, stop := startDaemon(t, bins)
+
+	// The exact configuration is shared between the service path and the
+	// direct path: dvsctl ships the same JSON the test builds here.
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = 400_000
+	cfg.Formulas = core.PowerFormula(20, 0.5, 2.25, 0.05)
+	cfgPath := filepath.Join(work, "cfg.json")
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, cfgJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	thresholds := []float64{600, 1000}
+	windows := []int64{40000}
+	artPath := filepath.Join(work, "result.json")
+	out, err := runTool(t, filepath.Join(bins, "dvsctl"),
+		"-addr", addr, "sweep",
+		"-config", cfgPath,
+		"-thresholds", "600,1000", "-windows", "40000",
+		"-wait", "-out", artPath)
+	if err != nil {
+		t.Fatalf("dvsctl sweep: %v\n%s", err, out)
+	}
+	served, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same sweep through the direct API must produce the same bytes.
+	results, err := core.SweepTDVS(cfg, thresholds, windows, 2)
+	if err != nil {
+		t.Fatalf("direct sweep: %v", err)
+	}
+	direct, err := json.Marshal(jobs.NewSweepArtifact(results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != string(direct) {
+		t.Errorf("served artifact differs from direct sweep\nserved: %d bytes\ndirect: %d bytes", len(served), len(direct))
+	}
+
+	// Status and jobs listing resolve the job as done.
+	out, err = runTool(t, filepath.Join(bins, "dvsctl"), "-addr", addr, "jobs")
+	if err != nil {
+		t.Fatalf("dvsctl jobs: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"done"`) {
+		t.Errorf("jobs listing has no done job:\n%s", out)
+	}
+
+	// Health check round-trips.
+	out, err = runTool(t, filepath.Join(bins, "dvsctl"), "-addr", addr, "health")
+	if err != nil || !strings.Contains(out, "ok") {
+		t.Errorf("health: %v\n%s", err, out)
+	}
+	stop()
+}
+
+// A daemon with a cache serves a repeated sweep without simulating: the
+// second submission's job completes with zero new runs and the cache hit
+// counters show up in /metrics.
+func TestServeCachedSweep(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	cacheDir := filepath.Join(work, "cache")
+	statePath := filepath.Join(work, "queue.json")
+	manifestPath := filepath.Join(work, "manifest.json")
+	addr, stop := startDaemon(t, bins,
+		"-cache", cacheDir, "-state", statePath, "-manifest", manifestPath)
+
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = 300_000
+	cfgPath := filepath.Join(work, "cfg.json")
+	b, _ := json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fetchMetric := func(name string) float64 {
+		out, err := runTool(t, filepath.Join(bins, "dvsctl"), "-addr", addr, "metrics")
+		if err != nil {
+			t.Fatalf("dvsctl metrics: %v\n%s", err, out)
+		}
+		for _, line := range strings.Split(out, "\n") {
+			if f, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					t.Fatalf("parse metric %s from %q: %v", name, line, err)
+				}
+				return v
+			}
+		}
+		return 0
+	}
+
+	sweep := func(outFile string) []byte {
+		t.Helper()
+		out, err := runTool(t, filepath.Join(bins, "dvsctl"),
+			"-addr", addr, "sweep",
+			"-config", cfgPath, "-thresholds", "800", "-windows", "40000",
+			"-wait", "-out", outFile)
+		if err != nil {
+			t.Fatalf("dvsctl sweep: %v\n%s", err, out)
+		}
+		data, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	first := sweep(filepath.Join(work, "a.json"))
+	runsAfterFirst := fetchMetric("experiments_runs_completed")
+	if runsAfterFirst == 0 {
+		t.Fatal("first sweep performed no simulations")
+	}
+
+	// The dedup window has closed (job done), so this submission makes a
+	// new job — but every point is a cache hit: zero new simulations.
+	second := sweep(filepath.Join(work, "b.json"))
+	runsAfterSecond := fetchMetric("experiments_runs_completed")
+	if runsAfterSecond != runsAfterFirst {
+		t.Errorf("repeated sweep simulated: runs %v -> %v, want unchanged", runsAfterFirst, runsAfterSecond)
+	}
+	if hits := fetchMetric("cache_hits"); hits == 0 {
+		t.Error("cache_hits = 0 after repeated sweep")
+	}
+	if string(first) != string(second) {
+		t.Error("cached sweep artifact differs from the first run")
+	}
+
+	// Graceful shutdown writes the queue checkpoint and a manifest whose
+	// cache block carries the hit counters.
+	stop()
+	if _, err := os.Stat(statePath); err != nil {
+		t.Errorf("no queue checkpoint after shutdown: %v", err)
+	}
+	mb, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("no shutdown manifest: %v", err)
+	}
+	var m struct {
+		Cache *struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache == nil || m.Cache.Hits == 0 {
+		t.Errorf("shutdown manifest cache block %+v, want nonzero hits", m.Cache)
+	}
+}
