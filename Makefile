@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check fuzz bench bench-obs bench-serve serve-smoke
+.PHONY: build vet test race check fuzz bench bench-obs bench-serve serve-smoke timeline-smoke
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,9 @@ bench-serve:
 # cached sweep, assert the cache hit counter and byte-identical artifacts.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Timeline smoke: a ~1k-packet nepsim -timeline run validated with
+# timelinecheck (spans on every ME track, byte-identical across reruns) plus
+# a tracestat -json/-timeline round trip.
+timeline-smoke:
+	sh scripts/timeline_smoke.sh

@@ -11,13 +11,19 @@
 //	config  print a default run configuration as JSON (input for run/sweep)
 //	run     submit one simulation (-config FILE, "-" = stdin)
 //	sweep   submit a TDVS sweep over -thresholds × -windows
-//	jobs    list all jobs
-//	status  print one job's status
-//	wait    block until a job finishes
-//	fetch   download a finished job's result.json
-//	cancel  cancel a job
-//	health  check the daemon is up
-//	metrics dump the daemon's Prometheus metrics
+//	jobs     list all jobs
+//	status   print one job's status
+//	wait     block until a job finishes
+//	fetch    download a finished job's result.json
+//	timeline download a finished job's stage timeline (Perfetto JSON)
+//	cancel   cancel a job
+//	health   check the daemon is up
+//	metrics  dump the daemon's Prometheus metrics
+//
+// Every invocation mints one request ID (or takes -request-id) and sends it
+// as X-Request-ID on each call, so the daemon's structured log ties the
+// submission, the job's execution, and any artifact fetches to this one
+// client action. Submissions print the ID on stderr for later grep.
 //
 // Examples:
 //
@@ -29,6 +35,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,9 +56,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "dvsd address (host:port)")
+	reqID := flag.String("request-id", "", "X-Request-ID to send (default: mint one per invocation)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dvsctl [-addr host:port] <command> [flags]\n")
-		fmt.Fprintf(os.Stderr, "commands: config run sweep jobs status wait fetch cancel health metrics\n")
+		fmt.Fprintf(os.Stderr, "commands: config run sweep jobs status wait fetch timeline cancel health metrics\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,7 +68,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := client{base: "http://" + *addr}
+	id := *reqID
+	if id == "" {
+		id = newRequestID()
+	}
+	c := client{base: "http://" + *addr, requestID: id}
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
@@ -77,6 +90,8 @@ func main() {
 		err = cmdWait(c, rest)
 	case "fetch":
 		err = cmdFetch(c, rest)
+	case "timeline":
+		err = cmdTimeline(c, rest)
 	case "cancel":
 		err = cmdCancel(c, rest)
 	case "health":
@@ -91,9 +106,20 @@ func main() {
 	}
 }
 
-// client is a thin JSON-over-HTTP helper bound to one daemon.
+// client is a thin JSON-over-HTTP helper bound to one daemon. Every request
+// carries the invocation's X-Request-ID.
 type client struct {
-	base string
+	base      string
+	requestID string
+}
+
+// newRequestID mints the invocation's trace ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-00000000"
+	}
+	return "r-" + hex.EncodeToString(b[:])
 }
 
 // do performs a request and decodes the response: into out on 2xx, into the
@@ -113,6 +139,9 @@ func (c client) do(method, path string, body, out any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.requestID != "" {
+		req.Header.Set(server.RequestIDHeader, c.requestID)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -203,7 +232,7 @@ func submit(c client, path string, req any, wait bool, out string) error {
 	if err := c.do(http.MethodPost, path, req, &sub); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dvsctl: job %s (deduped=%v)\n", sub.ID, sub.Deduped)
+	fmt.Fprintf(os.Stderr, "dvsctl: job %s (deduped=%v, request-id=%s)\n", sub.ID, sub.Deduped, c.requestID)
 	if !wait {
 		fmt.Println(sub.ID)
 		return nil
@@ -392,6 +421,31 @@ func cmdFetch(c client, args []string) error {
 		return err
 	}
 	return fetchArtifact(c, id, *out)
+}
+
+// cmdTimeline downloads a finished job's stage timeline: queue wait,
+// execution and artifact write as a Perfetto/Chrome trace-event file.
+func cmdTimeline(c client, args []string) error {
+	fs := flag.NewFlagSet("dvsctl timeline", flag.ExitOnError)
+	out := fs.String("out", "-", "destination file (- = stdout); load it in ui.perfetto.dev")
+	fs.Parse(args)
+	id, err := oneID("timeline", fs.Args())
+	if err != nil {
+		return err
+	}
+	var raw []byte
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/timeline", nil, &raw); err != nil {
+		return err
+	}
+	if *out == "" || *out == "-" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dvsctl: wrote %s (%d bytes)\n", *out, len(raw))
+	return nil
 }
 
 func cmdCancel(c client, args []string) error {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,26 @@ type options struct {
 	state        string
 	drainTimeout time.Duration
 	manifest     string
+	logLevel     string
+	logFormat    string
+}
+
+// newLogger builds the daemon's structured logger on stderr. Format "json"
+// emits one JSON object per record (for log shippers); "text" is the
+// human-readable slog form.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("dvsd: -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("dvsd: -log-format %q (want text or json)", format)
 }
 
 func main() {
@@ -60,6 +81,8 @@ func main() {
 	flag.StringVar(&o.state, "state", "", "queue checkpoint file: restored at boot, written at shutdown")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	flag.StringVar(&o.manifest, "manifest", "", "write a shutdown manifest (metrics + cache summary) to this file")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log verbosity: debug, info, warn or error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json")
 	flag.Parse()
 	if err := run(o, os.Args[1:]); err != nil {
 		cli.Die("dvsd", err)
@@ -68,6 +91,10 @@ func main() {
 
 func run(o options, rawArgs []string) error {
 	start := time.Now()
+	log, err := newLogger(o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
 	reg := obs.NewRegistry()
 	remove := experiments.ObserveRuns(reg, nil)
 	defer remove()
@@ -75,7 +102,7 @@ func run(o options, rawArgs []string) error {
 	var store *cache.Store
 	if o.cacheDir != "" {
 		var err error
-		store, err = cache.Open(o.cacheDir, cache.Options{Registry: reg, MaxEntries: o.cacheMax})
+		store, err = cache.Open(o.cacheDir, cache.Options{Registry: reg, MaxEntries: o.cacheMax, Logger: log})
 		if err != nil {
 			return err
 		}
@@ -83,14 +110,14 @@ func run(o options, rawArgs []string) error {
 		defer core.SetRunCache(nil)
 	}
 
-	q := jobs.New(jobs.Options{Workers: o.workers, Capacity: o.queueCap, Registry: reg})
+	q := jobs.New(jobs.Options{Workers: o.workers, Capacity: o.queueCap, Registry: reg, Logger: log})
 	if o.state != "" {
 		n, err := q.Restore(o.state)
 		if err != nil {
 			return err
 		}
 		if n > 0 {
-			fmt.Fprintf(os.Stderr, "dvsd: resumed %d pending job(s) from %s\n", n, o.state)
+			log.Info("resumed pending jobs", "count", n, "state", o.state)
 		}
 	}
 
@@ -105,9 +132,9 @@ func run(o options, rawArgs []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "dvsd: listening on %s\n", bound)
+	log.Info("listening", "addr", bound)
 
-	hs := &http.Server{Handler: server.New(server.Options{Queue: q, Registry: reg})}
+	hs := &http.Server{Handler: server.New(server.Options{Queue: q, Registry: reg, Logger: log})}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -120,20 +147,20 @@ func run(o options, rawArgs []string) error {
 	}
 	stop()
 
-	fmt.Fprintf(os.Stderr, "dvsd: draining (up to %v)\n", o.drainTimeout)
+	log.Info("draining", "timeout", o.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "dvsd: http shutdown: %v\n", err)
+		log.Warn("http shutdown", "err", err)
 	}
 	if err := q.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "dvsd: drain timed out; pending work checkpointed\n")
+		log.Warn("drain timed out; pending work checkpointed")
 	}
 	if o.state != "" {
 		if err := q.Checkpoint(o.state); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dvsd: checkpointed %d pending job(s) to %s\n", q.Pending(), o.state)
+		log.Info("checkpointed pending jobs", "count", q.Pending(), "state", o.state)
 	}
 
 	if o.manifest != "" {

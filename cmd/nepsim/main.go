@@ -10,6 +10,13 @@
 //	nepsim -bench md4 -level medium -policy edvs -window 40000 -idle 0.10
 //	nepsim -bench nat -policy tdvs -metrics m.json
 //	nepsim -bench ipfwdr -policy tdvs -faults plan.json -run-timeout 5m
+//	nepsim -bench ipfwdr -level high -timeline run.trace.json
+//
+// -timeline records the run's simulation-time spans — per-ME execution and
+// idle residency, memory transactions, VF ladder levels and transitions,
+// fault windows — as Chrome/Perfetto trace-event JSON; open the file in
+// ui.perfetto.dev or chrome://tracing. Identical invocations write
+// byte-identical timelines.
 //
 // Metrics snapshots derive only from simulation state: two identical
 // invocations write byte-identical -metrics files. A file ending in .prom
@@ -37,6 +44,7 @@ import (
 	"nepdvs/internal/core"
 	"nepdvs/internal/fault"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/span"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
@@ -52,6 +60,7 @@ type options struct {
 	window         int64
 	idleFrac, hyst float64
 	tracePath      string
+	timeline       string
 	binary         bool
 	formulas       string
 	pipeline       bool
@@ -78,6 +87,7 @@ func main() {
 	flag.Float64Var(&o.idleFrac, "idle", 0.10, "EDVS idle threshold fraction")
 	flag.Float64Var(&o.hyst, "hysteresis", 0, "TDVS hysteresis band (ablation)")
 	flag.StringVar(&o.tracePath, "trace", "", "write the event trace to this file")
+	flag.StringVar(&o.timeline, "timeline", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
 	flag.BoolVar(&o.binary, "binary", false, "write the trace in binary format")
 	flag.StringVar(&o.formulas, "formulas", "", "LOC formulas to evaluate live (file path)")
 	flag.BoolVar(&o.pipeline, "pipeline", false, "emit per-batch pipeline events (large traces)")
@@ -165,10 +175,17 @@ func run(o options, rawArgs []string) error {
 		cfg.Metrics = reg
 	}
 
+	var spans *span.Recorder
+	if o.timeline != "" {
+		spans = span.NewRecorder()
+		cfg.Spans = spans
+	}
+
 	// The run cache serves identical invocations from disk. Trace-writing
-	// runs (-trace) bypass it by design: a hit cannot replay the event
-	// stream. Cache counters land in the manifest, not the -metrics
-	// snapshot — the snapshot must stay a pure function of simulation state.
+	// runs (-trace, -timeline) bypass it by design: a hit cannot replay the
+	// event or span stream. Cache counters land in the manifest, not the
+	// -metrics snapshot — the snapshot must stay a pure function of
+	// simulation state.
 	var store *cache.Store
 	if o.cacheDir != "" {
 		cacheReg := obs.NewRegistry()
@@ -213,6 +230,12 @@ func run(o options, rawArgs []string) error {
 	var outputs []string
 	if o.tracePath != "" {
 		outputs = append(outputs, o.tracePath)
+	}
+	if spans != nil {
+		if err := span.WriteChromeFile(o.timeline, spans.Events()); err != nil {
+			return err
+		}
+		outputs = append(outputs, o.timeline)
 	}
 	var snap *obs.Snapshot
 	if reg != nil {
@@ -264,6 +287,8 @@ func manifestPath(o options, outputs []string) string {
 		return deriveManifest(o.metrics)
 	case o.tracePath != "":
 		return deriveManifest(o.tracePath)
+	case o.timeline != "":
+		return deriveManifest(o.timeline)
 	}
 	return ""
 }

@@ -12,10 +12,13 @@
 package cache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,6 +58,10 @@ type Options struct {
 	// entries (by insertion order) are evicted first. Zero or below means
 	// unbounded.
 	MaxEntries int
+	// Logger receives per-operation debug records (hit, miss, store), each
+	// carrying the trace ID of the request that triggered it when the core
+	// consulted the cache through its context-aware path. Nil means silent.
+	Logger *slog.Logger
 }
 
 // Store is a directory-backed core.RunCache. Safe for concurrent use by
@@ -64,6 +71,7 @@ type Options struct {
 type Store struct {
 	dir        string
 	maxEntries int
+	log        *slog.Logger
 
 	hits      *obs.Counter
 	misses    *obs.Counter
@@ -92,7 +100,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:        dir,
 		maxEntries: opts.MaxEntries,
+		log:        opts.Logger,
 		resident:   make(map[string]bool),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if r := opts.Registry; r != nil {
 		s.hits = r.Counter("cache_hits")
@@ -316,6 +328,33 @@ func (s *Store) Len() int {
 
 // Dir returns the backing directory.
 func (s *Store) Dir() string { return s.dir }
+
+// LookupCtx implements core.CtxRunCache: the same lookup, attributed to the
+// request that caused it in the debug log. The context never changes what
+// is returned.
+func (s *Store) LookupCtx(ctx context.Context, key string) (*core.CachedRun, bool) {
+	cr, ok := s.Lookup(key)
+	if ok {
+		s.log.Debug("cache hit", "trace_id", obs.TraceIDFrom(ctx), "key", short(key))
+	} else {
+		s.log.Debug("cache miss", "trace_id", obs.TraceIDFrom(ctx), "key", short(key))
+	}
+	return cr, ok
+}
+
+// StoreCtx implements core.CtxRunCache.
+func (s *Store) StoreCtx(ctx context.Context, key string, material []byte, cr *core.CachedRun) {
+	s.Store(key, material, cr)
+	s.log.Debug("cache store", "trace_id", obs.TraceIDFrom(ctx), "key", short(key))
+}
+
+// short truncates a key for log lines, tolerating malformed keys.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
 
 // Summary renders the store's state for a run manifest.
 func (s *Store) Summary() *obs.CacheSummary {

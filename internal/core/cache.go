@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -53,6 +54,32 @@ type RunCache interface {
 	// material (RunKeyMaterial) for audit; implementations may persist it
 	// alongside the payload.
 	Store(key string, material []byte, cr *CachedRun)
+}
+
+// CtxRunCache is the optional context-aware extension of RunCache. A cache
+// that implements it is consulted through these methods instead, receiving
+// the run's context — which carries the request trace ID on the service
+// path — so hits, misses and stores can be attributed in structured logs.
+// The context must not change what is looked up or stored.
+type CtxRunCache interface {
+	RunCache
+	LookupCtx(ctx context.Context, key string) (*CachedRun, bool)
+	StoreCtx(ctx context.Context, key string, material []byte, cr *CachedRun)
+}
+
+func cacheLookup(ctx context.Context, c RunCache, key string) (*CachedRun, bool) {
+	if cc, ok := c.(CtxRunCache); ok {
+		return cc.LookupCtx(ctx, key)
+	}
+	return c.Lookup(key)
+}
+
+func cacheStore(ctx context.Context, c RunCache, key string, material []byte, cr *CachedRun) {
+	if cc, ok := c.(CtxRunCache); ok {
+		cc.StoreCtx(ctx, key, material, cr)
+		return
+	}
+	c.Store(key, material, cr)
 }
 
 var runCache atomic.Pointer[RunCache]
@@ -125,6 +152,7 @@ func RunKeyMaterial(cfg RunConfig) ([]byte, error) {
 	norm.PacketCount = 0
 	norm.ExtraSink = nil
 	norm.Metrics = nil
+	norm.Spans = nil
 	m := runKeyMaterial{Schema: runKeySchema, Code: codeVersion(), Config: norm}
 	if cfg.Packets != nil {
 		h := sha256.New()

@@ -27,6 +27,7 @@ import (
 	"nepdvs/internal/npu"
 	"nepdvs/internal/obs"
 	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
@@ -120,6 +121,15 @@ type RunConfig struct {
 	// by one run snapshots byte-identically across same-config runs. A
 	// shared registry is safe: it accumulates across concurrent sweep runs.
 	Metrics *obs.Registry `json:"-"`
+	// Spans, when non-nil, records the run's simulation-time timeline into
+	// the recorder: per-ME execution/idle residency, memory-controller
+	// transactions, VF ladder walks (including transition stalls), DVS
+	// window decisions and fault windows. Everything recorded derives from
+	// simulation state, so two same-config runs produce byte-identical span
+	// streams. A run with a recorder bypasses the run cache — a cache hit
+	// cannot replay the timeline. Not part of the serializable config; a
+	// recorder serves exactly one run.
+	Spans *span.Recorder `json:"-"`
 }
 
 // DefaultRunConfig assembles the paper's experimental setup for a benchmark
@@ -249,22 +259,24 @@ func Run(cfg RunConfig) (*RunResult, error) {
 // than killing the process, so sweeps survive individual bad runs.
 //
 // When a run cache is installed (SetRunCache) and the config has no
-// ExtraSink, the run is content-addressed: a hit returns the stored result
-// without simulating — the run hook does not fire, and the stored metrics
-// snapshot merges into cfg.Metrics in place of a live publish — and a miss
-// stores the completed result for the next identical run.
+// ExtraSink and no Spans recorder, the run is content-addressed: a hit
+// returns the stored result without simulating — the run hook does not
+// fire, and the stored metrics snapshot merges into cfg.Metrics in place of
+// a live publish — and a miss stores the completed result for the next
+// identical run. A cache that also implements CtxRunCache is consulted
+// through its context-aware methods, so lookups can observe trace IDs.
 func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	cache := loadRunCache()
 	var key string
 	var material []byte
-	if cache != nil && cfg.ExtraSink == nil {
+	if cache != nil && cfg.ExtraSink == nil && cfg.Spans == nil {
 		// A key derivation failure only disables caching for this run; it
 		// must never fail a run the simulator could complete.
 		if m, err := RunKeyMaterial(cfg); err == nil {
 			material = m
 			sum := sha256.Sum256(m)
 			key = hex.EncodeToString(sum[:])
-			if cr, ok := cache.Lookup(key); ok && cr.Result != nil {
+			if cr, ok := cacheLookup(ctx, cache, key); ok && cr.Result != nil {
 				res := cr.Result
 				// The stored config round-tripped through JSON and lost the
 				// non-serializable fields; hand back the caller's own.
@@ -280,7 +292,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	}
 	res, snap, err := runSim(ctx, cfg, key != "")
 	if err == nil && key != "" {
-		cache.Store(key, material, &CachedRun{Result: res, Metrics: snap})
+		cacheStore(ctx, cache, key, material, &CachedRun{Result: res, Metrics: snap})
 	}
 	return res, err
 }
@@ -356,6 +368,9 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.Spans != nil {
+		chip.SetSpans(cfg.Spans)
+	}
 
 	// Compile and arm the fault plan, if any. The plan is scope-filtered to
 	// this run, compiled against the reference clock, hooked into the chip's
@@ -370,6 +385,9 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 			return nil, nil, err
 		}
 		chip.SetFaultInjector(inj)
+		if cfg.Spans != nil {
+			inj.SetSpans(cfg.Spans)
+		}
 		inj.Arm(k, chip.EmitExternal)
 	}
 
@@ -403,6 +421,7 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		if err != nil {
 			return nil, nil, err
 		}
+		ctl.SetSpans(cfg.Spans)
 		policyStats = ctl.Stats
 	case EDVS:
 		// EDVS shares the ladder VF rungs; thresholds are unused, so the
@@ -411,6 +430,7 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		if err != nil {
 			return nil, nil, err
 		}
+		ctl.SetSpans(cfg.Spans)
 		policyStats = ctl.Stats
 	case CombinedDVS:
 		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
@@ -421,6 +441,7 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		if err != nil {
 			return nil, nil, err
 		}
+		ctl.SetSpans(cfg.Spans)
 		policyStats = ctl.Stats
 	case OracleDVS:
 		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
@@ -442,6 +463,7 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		if err != nil {
 			return nil, nil, err
 		}
+		ctl.SetSpans(cfg.Spans)
 		policyStats = ctl.Stats
 	}
 
@@ -472,6 +494,7 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 
 	k.RunUntil(dur)
 	chip.StopTickers()
+	chip.FlushSpans()
 
 	if k.Interrupted() {
 		cause := ctx.Err()

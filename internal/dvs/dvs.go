@@ -23,6 +23,7 @@ import (
 
 	"nepdvs/internal/power"
 	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 )
 
 // Step is one rung of the VF ladder with its TDVS traffic threshold.
@@ -135,6 +136,7 @@ type TDVS struct {
 	lastBits uint64
 	ticker   *sim.Ticker
 	stats    Stats
+	spans    *span.Recorder
 }
 
 // windowDuration converts a window in reference cycles to time.
@@ -177,7 +179,7 @@ func (t *TDVS) Stats() Stats { return t.stats }
 // Stop halts the controller.
 func (t *TDVS) Stop() { t.ticker.Stop() }
 
-func (t *TDVS) tick(sim.Time) {
+func (t *TDVS) tick(at sim.Time) {
 	bits := t.chip.TrafficBits()
 	delta := bits - t.lastBits
 	t.lastBits = bits
@@ -193,7 +195,13 @@ func (t *TDVS) tick(sim.Time) {
 	case mbps > th*(1+t.hysteresis):
 		next = t.ladder.Clamp(t.level - 1) // scale up
 	}
+	if t.spans != nil {
+		recordWindow(t.spans, at, mbps, next, "tdvs_level")
+	}
 	if next != t.level {
+		if t.spans != nil {
+			recordTransition(t.spans, at, -1, t.level, next)
+		}
 		t.level = next
 		t.stats.Transitions++
 		t.chip.SetAllVF(t.ladder.Steps[next].VF)
@@ -211,6 +219,9 @@ type EDVS struct {
 	ticker    *sim.Ticker
 	stats     Stats
 	perMEStat []Stats
+
+	spans         *span.Recorder
+	levelCounters []string
 }
 
 // NewEDVS attaches an execution-based controller: every windowCycles
@@ -253,7 +264,7 @@ func (e *EDVS) MEStats(i int) Stats { return e.perMEStat[i] }
 // Stop halts the controller.
 func (e *EDVS) Stop() { e.ticker.Stop() }
 
-func (e *EDVS) tick(sim.Time) {
+func (e *EDVS) tick(at sim.Time) {
 	e.stats.Windows++
 	for i := 0; i < e.chip.NumMEs(); i++ {
 		idle := e.chip.MEIdle(i)
@@ -270,7 +281,13 @@ func (e *EDVS) tick(sim.Time) {
 		case frac < e.idleFrac:
 			next = e.ladder.Clamp(next - 1) // busy engine: scale up
 		}
+		if e.spans != nil {
+			e.spans.Counter(dvsTrack, e.levelCounters[i], at, float64(next))
+		}
 		if next != e.levels[i] {
+			if e.spans != nil {
+				recordTransition(e.spans, at, i, e.levels[i], next)
+			}
 			e.levels[i] = next
 			e.stats.Transitions++
 			e.perMEStat[i].Transitions++
@@ -295,6 +312,9 @@ type Combined struct {
 	lastIdle   []sim.Time
 	ticker     *sim.Ticker
 	stats      Stats
+
+	spans         *span.Recorder
+	levelCounters []string
 }
 
 // NewCombined attaches the combined controller.
@@ -326,7 +346,7 @@ func (c *Combined) Stats() Stats { return c.stats }
 // Stop halts the controller.
 func (c *Combined) Stop() { c.ticker.Stop() }
 
-func (c *Combined) tick(sim.Time) {
+func (c *Combined) tick(at sim.Time) {
 	c.stats.Windows++
 	// TDVS signal.
 	bits := c.chip.TrafficBits()
@@ -338,6 +358,9 @@ func (c *Combined) tick(sim.Time) {
 		c.tdvsLevel = c.ladder.Clamp(c.tdvsLevel + 1)
 	case mbps > th:
 		c.tdvsLevel = c.ladder.Clamp(c.tdvsLevel - 1)
+	}
+	if c.spans != nil {
+		recordWindow(c.spans, at, mbps, c.tdvsLevel, "tdvs_level")
 	}
 	// EDVS signal and per-ME application of the lower VF.
 	for i := 0; i < c.chip.NumMEs(); i++ {
@@ -355,7 +378,13 @@ func (c *Combined) tick(sim.Time) {
 			want = c.edvsLevels[i]
 		}
 		c.stats.TimeAtLevel[c.applied[i]]++
+		if c.spans != nil {
+			c.spans.Counter(dvsTrack, c.levelCounters[i], at, float64(want))
+		}
 		if want != c.applied[i] {
+			if c.spans != nil {
+				recordTransition(c.spans, at, i, c.applied[i], want)
+			}
 			c.applied[i] = want
 			c.stats.Transitions++
 			c.chip.SetMEVF(i, c.ladder.Steps[want].VF)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 )
 
 // Oracle is an ablation beyond the paper: a traffic-based policy with a
@@ -23,6 +24,7 @@ type Oracle struct {
 	tick    int
 	ticker  *sim.Ticker
 	stats   Stats
+	spans   *span.Recorder
 }
 
 // OracleLevel returns the rung a perfect predictor picks for a window
@@ -71,7 +73,7 @@ func (o *Oracle) Stats() Stats { return o.stats }
 // Stop halts the controller.
 func (o *Oracle) Stop() { o.ticker.Stop() }
 
-func (o *Oracle) onWindow(sim.Time) {
+func (o *Oracle) onWindow(at sim.Time) {
 	o.stats.Windows++
 	o.stats.TimeAtLevel[o.level]++
 	o.tick++
@@ -80,7 +82,13 @@ func (o *Oracle) onWindow(sim.Time) {
 		idx = len(o.volumes) - 1
 	}
 	next := OracleLevel(o.ladder, o.volumes[idx])
+	if o.spans != nil {
+		recordWindow(o.spans, at, o.volumes[idx], next, "oracle_level")
+	}
 	if next != o.level {
+		if o.spans != nil {
+			recordTransition(o.spans, at, -1, o.level, next)
+		}
 		o.level = next
 		o.stats.Transitions++
 		o.chip.SetAllVF(o.ladder.Steps[next].VF)

@@ -1,0 +1,67 @@
+package dvs
+
+import (
+	"fmt"
+
+	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
+)
+
+// Timeline recording for the DVS controllers: each policy samples its
+// decision inputs and levels onto the shared "dvs" track once per monitor
+// window, and marks transitions as instants. Everything recorded derives
+// from simulation state, so span streams are deterministic per config —
+// the same contract as the metrics bridges.
+
+// dvsTrack is the controllers' shared timeline track.
+const dvsTrack = "dvs"
+
+// meLevelCounters precomputes per-ME counter-series names ("prefix_me0",
+// ...), since counter names must be globally unique and ticks should not
+// format strings.
+func meLevelCounters(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s_me%d", prefix, i)
+	}
+	return out
+}
+
+// SetSpans attaches a timeline recorder. Call before the simulation
+// starts; nil (the default) disables recording.
+func (t *TDVS) SetSpans(r *span.Recorder) { t.spans = r }
+
+// SetSpans attaches a timeline recorder. Call before the simulation
+// starts; nil (the default) disables recording.
+func (e *EDVS) SetSpans(r *span.Recorder) {
+	e.spans = r
+	if r != nil && e.levelCounters == nil {
+		e.levelCounters = meLevelCounters("edvs_level", e.chip.NumMEs())
+	}
+}
+
+// SetSpans attaches a timeline recorder. Call before the simulation
+// starts; nil (the default) disables recording.
+func (c *Combined) SetSpans(r *span.Recorder) {
+	c.spans = r
+	if r != nil && c.levelCounters == nil {
+		c.levelCounters = meLevelCounters("dvs_level", c.chip.NumMEs())
+	}
+}
+
+// SetSpans attaches a timeline recorder. Call before the simulation
+// starts; nil (the default) disables recording.
+func (o *Oracle) SetSpans(r *span.Recorder) { o.spans = r }
+
+// recordWindow samples a window's traffic reading and chip-wide level.
+func recordWindow(r *span.Recorder, at sim.Time, mbps float64, level int, counter string) {
+	r.Counter(dvsTrack, "dvs_window_mbps", at, mbps)
+	r.Counter(dvsTrack, counter, at, float64(level))
+}
+
+// recordTransition marks a level change on the dvs track.
+func recordTransition(r *span.Recorder, at sim.Time, me, from, to int) {
+	r.Instant(dvsTrack, "transition", "dvs", at, map[string]float64{
+		"me": float64(me), "from": float64(from), "to": float64(to),
+	})
+}

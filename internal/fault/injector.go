@@ -5,6 +5,7 @@ import (
 
 	"nepdvs/internal/obs"
 	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 )
 
 // window is one fault's active interval [from, to) in simulation time.
@@ -51,8 +52,16 @@ type Injector struct {
 	sensor []window            // sensor_misread windows
 	stuck  []window            // vf_stuck windows
 
+	// spans is the optional timeline recorder; fault windows are recorded
+	// at Arm time (their intervals are statically known from the plan).
+	spans *span.Recorder
+
 	stats Stats
 }
+
+// SetSpans attaches a timeline recorder. Call before Arm; nil (the
+// default) disables recording.
+func (in *Injector) SetSpans(r *span.Recorder) { in.spans = r }
 
 // NewInjector compiles a (scope-filtered) plan against the reference
 // clock. An empty plan yields a valid injector that never fires.
@@ -226,20 +235,36 @@ func (in *Injector) Arm(k *sim.Kernel, emit func(name string, extra map[string]f
 		f := f
 		in.stats.Armed++
 		onset := in.clock.Cycles(f.OnsetCycle)
+		args := map[string]float64{
+			"kind":      f.Kind.Code(),
+			"unit":      UnitCode(f.Unit),
+			"magnitude": f.Magnitude,
+		}
 		switch f.Kind {
 		case KindPanic:
+			if in.spans != nil {
+				in.spans.Instant("fault", string(f.Kind), "fault", onset, args)
+			}
 			k.Schedule(onset, func() {
 				announce("fault", f)
 				panic(InjectedPanic{Fault: f, At: k.Now()})
 			})
 		case KindHang:
+			if in.spans != nil {
+				in.spans.Instant("fault", string(f.Kind), "fault", onset, args)
+			}
 			k.Schedule(onset, func() {
 				announce("fault", f)
 				in.hang(k)
 			})
 		default:
-			k.Schedule(onset, func() { announce("fault", f) })
 			end := in.clock.Cycles(f.OnsetCycle + f.DurationCycles)
+			if in.spans != nil {
+				// The window is known statically, so the span is recorded
+				// whole here rather than in two halves at dispatch time.
+				in.spans.Span("fault", string(f.Kind), "fault", onset, end, args)
+			}
+			k.Schedule(onset, func() { announce("fault", f) })
 			k.Schedule(end, func() { announce("fault_clear", f) })
 		}
 	}

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
+	"time"
 
 	"nepdvs/internal/obs"
 )
@@ -50,6 +53,15 @@ type Status struct {
 	PointsDone  int    `json:"points_done"`
 	PointsTotal int    `json:"points_total"`
 	Err         string `json:"err,omitempty"`
+	// TraceID is the submitting request's trace ID, when one was attached.
+	TraceID string `json:"trace_id,omitempty"`
+	// Stage durations, filled as the job progresses (terminal jobs carry
+	// all four). All derive from the same monotonic timestamps, so for a
+	// terminal job QueueWaitNs + ExecNs + ArtifactWriteNs == WallNs exactly.
+	QueueWaitNs     int64 `json:"queue_wait_ns,omitempty"`
+	ExecNs          int64 `json:"exec_ns,omitempty"`
+	ArtifactWriteNs int64 `json:"artifact_write_ns,omitempty"`
+	WallNs          int64 `json:"wall_ns,omitempty"`
 }
 
 // job is the queue's internal record.
@@ -68,6 +80,34 @@ type job struct {
 	requeue     bool
 	done        chan struct{}
 	heapIndex   int // position in pending, -1 when not queued
+
+	// Stage timestamps, in submission order: enqueue, worker pickup, executor
+	// return, terminal transition. Every derived duration reads these same
+	// values, so the stages tile the job's wall time exactly. A requeued job
+	// restarts the clock at its re-enqueue.
+	tSubmit  time.Time
+	tStart   time.Time
+	tExecEnd time.Time
+	tFinish  time.Time
+}
+
+// stages renders the job's stage durations; zero timestamps (stages not
+// reached yet) yield zeros. Callers hold q.mu.
+func (j *job) stages() (queueWait, exec, artifact, wall time.Duration) {
+	if j.tStart.IsZero() {
+		return 0, 0, 0, 0
+	}
+	queueWait = j.tStart.Sub(j.tSubmit)
+	if j.tExecEnd.IsZero() {
+		return queueWait, 0, 0, 0
+	}
+	exec = j.tExecEnd.Sub(j.tStart)
+	if j.tFinish.IsZero() {
+		return queueWait, exec, 0, 0
+	}
+	artifact = j.tFinish.Sub(j.tExecEnd)
+	wall = j.tFinish.Sub(j.tSubmit)
+	return queueWait, exec, artifact, wall
 }
 
 // pendingHeap orders queued jobs by (priority desc, submission seq asc).
@@ -117,6 +157,13 @@ type Options struct {
 	Registry *obs.Registry
 	// Exec overrides the executor; nil means Execute (real simulations).
 	Exec Executor
+	// Logger receives structured job-lifecycle records (submit, start,
+	// terminal transitions), each carrying the job and trace IDs. Nil means
+	// silent.
+	Logger *slog.Logger
+	// Now overrides the stage clock, for deterministic tests. Nil means
+	// time.Now.
+	Now func() time.Time
 }
 
 // Queue is a bounded priority job queue with a worker pool, singleflight
@@ -126,6 +173,8 @@ type Queue struct {
 	workers  int
 	capacity int
 	exec     Executor
+	log      *slog.Logger
+	now      func() time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -138,6 +187,10 @@ type Queue struct {
 	canceled  *obs.Counter
 	gQueued   *obs.Gauge
 	gRunning  *obs.Gauge
+
+	hQueueWait *obs.Histogram
+	hExec      *obs.Histogram
+	hArtifact  *obs.Histogram
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -165,6 +218,14 @@ func New(opts Options) *Queue {
 	if q.exec == nil {
 		q.exec = Execute
 	}
+	q.log = opts.Logger
+	if q.log == nil {
+		q.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	q.now = opts.Now
+	if q.now == nil {
+		q.now = time.Now
+	}
 	if r := opts.Registry; r != nil {
 		q.submitted = r.Counter("jobs_submitted")
 		q.deduped = r.Counter("jobs_deduped")
@@ -174,6 +235,12 @@ func New(opts Options) *Queue {
 		q.canceled = r.Counter("jobs_canceled")
 		q.gQueued = r.Gauge("jobs_queued")
 		q.gRunning = r.Gauge("jobs_running")
+		// 1 ms .. ~8.7 min in ×2 steps: queue waits and executions span
+		// microbenchmark-fast fake executors up to multi-minute sweeps.
+		edges := obs.ExponentialEdges(0.001, 2, 20)
+		q.hQueueWait = r.Histogram("jobs_stage_queue_wait_seconds", edges)
+		q.hExec = r.Histogram("jobs_stage_exec_seconds", edges)
+		q.hArtifact = r.Histogram("jobs_stage_artifact_write_seconds", edges)
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
@@ -187,6 +254,12 @@ func New(opts Options) *Queue {
 func inc(c *obs.Counter) {
 	if c != nil {
 		c.Inc()
+	}
+}
+
+func observe(h *obs.Histogram, d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
 	}
 }
 
@@ -219,14 +292,18 @@ func (q *Queue) Submit(spec Spec) (id string, deduped bool, err error) {
 	}
 	if j, ok := q.byKey[key]; ok {
 		inc(q.deduped)
+		q.log.Info("job deduped", "job", j.id, "trace_id", spec.TraceID, "onto_trace_id", j.spec.TraceID)
 		return j.id, true, nil
 	}
 	if len(q.pending) >= q.capacity {
 		inc(q.rejected)
+		q.log.Warn("job rejected: queue full", "trace_id", spec.TraceID, "capacity", q.capacity)
 		return "", false, ErrQueueFull
 	}
 	j := q.insertLocked("", key, spec)
 	inc(q.submitted)
+	q.log.Info("job submitted", "job", j.id, "trace_id", spec.TraceID,
+		"kind", string(spec.Kind), "priority", spec.Priority, "points", j.pointsTotal)
 	return j.id, false, nil
 }
 
@@ -250,6 +327,7 @@ func (q *Queue) insertLocked(id, key string, spec Spec) *job {
 		pointsTotal: total,
 		done:        make(chan struct{}),
 		heapIndex:   -1,
+		tSubmit:     q.now(),
 	}
 	q.byID[id] = j
 	q.byKey[key] = j
@@ -271,15 +349,21 @@ func (q *Queue) Status(id string) (Status, error) {
 }
 
 func (q *Queue) statusLocked(j *job) Status {
+	queueWait, exec, artifact, wall := j.stages()
 	return Status{
-		ID:          j.id,
-		Key:         j.key,
-		Kind:        j.spec.Kind,
-		State:       j.state,
-		Priority:    j.spec.Priority,
-		PointsDone:  j.pointsDone,
-		PointsTotal: j.pointsTotal,
-		Err:         j.err,
+		ID:              j.id,
+		Key:             j.key,
+		Kind:            j.spec.Kind,
+		State:           j.state,
+		Priority:        j.spec.Priority,
+		PointsDone:      j.pointsDone,
+		PointsTotal:     j.pointsTotal,
+		Err:             j.err,
+		TraceID:         j.spec.TraceID,
+		QueueWaitNs:     queueWait.Nanoseconds(),
+		ExecNs:          exec.Nanoseconds(),
+		ArtifactWriteNs: artifact.Nanoseconds(),
+		WallNs:          wall.Nanoseconds(),
 	}
 }
 
@@ -364,6 +448,27 @@ func (q *Queue) Cancel(id string) error {
 	return nil
 }
 
+// finishLocked moves a job that ran to its terminal bookkeeping: the final
+// stage timestamp, stage-latency observations, dedup-window removal, waiter
+// wakeup and the terminal log record. Callers hold q.mu and have already set
+// j.state (and j.err, j.artifact).
+func (q *Queue) finishLocked(j *job) {
+	j.tFinish = q.now()
+	_, exec, artifact, wall := j.stages()
+	observe(q.hExec, exec)
+	observe(q.hArtifact, artifact)
+	delete(q.byKey, j.key)
+	close(j.done)
+	attrs := []any{"job", j.id, "trace_id", j.spec.TraceID, "state", string(j.state),
+		"exec", exec, "artifact_write", artifact, "wall", wall}
+	if j.err != "" {
+		attrs = append(attrs, "err", j.err)
+		q.log.Warn("job finished", attrs...)
+		return
+	}
+	q.log.Info("job finished", attrs...)
+}
+
 // worker is the pool loop: pop the highest-priority job, execute, record.
 func (q *Queue) worker() {
 	defer q.wg.Done()
@@ -378,9 +483,17 @@ func (q *Queue) worker() {
 		}
 		j := heap.Pop(&q.pending).(*job)
 		j.state = StateRunning
-		ctx, cancel := context.WithCancel(q.baseCtx)
+		j.tStart = q.now()
+		// The worker's run context carries the submitting request's trace
+		// ID, so everything below — the executor, core.RunContext, a
+		// context-aware run cache — can attribute itself to the request.
+		ctx, cancel := context.WithCancel(obs.WithTraceID(q.baseCtx, j.spec.TraceID))
 		j.cancel = cancel
 		q.running++
+		queueWait := j.tStart.Sub(j.tSubmit)
+		observe(q.hQueueWait, queueWait)
+		q.log.Info("job started", "job", j.id, "trace_id", j.spec.TraceID,
+			"queue_wait", queueWait)
 		q.gauges()
 		q.mu.Unlock()
 
@@ -391,30 +504,35 @@ func (q *Queue) worker() {
 			}
 			q.mu.Unlock()
 		})
+		execEnd := q.now()
 		cancel()
 
 		q.mu.Lock()
 		q.running--
+		j.tExecEnd = execEnd
 		switch {
 		case ctx.Err() != nil && j.requeue:
 			// Drain timeout interrupted it: back to the queue so the
 			// checkpoint captures it. The run cache makes the replay cheap.
+			// The stage clock restarts: the next pickup measures its wait
+			// from the re-enqueue, not the original submission.
 			j.state = StateQueued
 			j.requeue = false
 			j.cancel = nil
 			j.pointsDone = 0
+			j.tSubmit = q.now()
+			j.tStart, j.tExecEnd, j.tFinish = time.Time{}, time.Time{}, time.Time{}
 			heap.Push(&q.pending, j)
+			q.log.Info("job requeued", "job", j.id, "trace_id", j.spec.TraceID)
 		case ctx.Err() != nil && j.userCancel:
 			j.state = StateCanceled
 			j.err = context.Cause(ctx).Error()
-			delete(q.byKey, j.key)
-			close(j.done)
+			q.finishLocked(j)
 			inc(q.canceled)
 		case err != nil:
 			j.state = StateFailed
 			j.err = err.Error()
-			delete(q.byKey, j.key)
-			close(j.done)
+			q.finishLocked(j)
 			inc(q.failed)
 		default:
 			if b, merr := json.Marshal(artifact); merr != nil {
@@ -426,8 +544,7 @@ func (q *Queue) worker() {
 				j.state = StateDone
 				inc(q.completed)
 			}
-			delete(q.byKey, j.key)
-			close(j.done)
+			q.finishLocked(j)
 		}
 		q.gauges()
 		q.cond.Broadcast()

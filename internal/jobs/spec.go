@@ -45,6 +45,12 @@ type Spec struct {
 	// submission order. It does not participate in the dedup key — an
 	// urgent request for work already queued attaches to the existing job.
 	Priority int `json:"priority,omitempty"`
+	// TraceID names the client interaction that submitted this work, for
+	// log and timeline attribution (the server fills it from X-Request-ID).
+	// Like Priority it is not content: it never participates in the dedup
+	// key, so a resubmission under a new trace ID attaches to the existing
+	// job (which keeps its original ID).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Validate rejects specs the queue would only fail on later.
@@ -64,8 +70,8 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("jobs: unknown kind %q", s.Kind)
 	}
-	if s.Config.ExtraSink != nil || s.Config.Metrics != nil {
-		return fmt.Errorf("jobs: spec config must be serializable (no sinks or registries)")
+	if s.Config.ExtraSink != nil || s.Config.Metrics != nil || s.Config.Spans != nil {
+		return fmt.Errorf("jobs: spec config must be serializable (no sinks, registries or recorders)")
 	}
 	return nil
 }

@@ -1,0 +1,36 @@
+package jobs
+
+import (
+	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
+)
+
+// Timeline renders a terminal job's service-side stages as span events:
+// queue wait, execution and artifact write, back to back on one track with
+// the job's submission as time zero. The spans derive from the same
+// timestamps as the Status durations, so they tile the job's wall time
+// exactly — the same contract the sim-side recorder keeps, which lets both
+// worlds share the Perfetto exporter.
+func (q *Queue) Timeline(id string) ([]span.Event, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if !j.state.Terminal() {
+		return nil, ErrNotDone
+	}
+	queueWait, exec, artifact, _ := j.stages()
+	track := "job " + j.id
+	toPs := func(ns int64) sim.Time { return sim.Time(ns) * sim.Nanosecond }
+	t1 := toPs(queueWait.Nanoseconds())
+	t2 := t1 + toPs(exec.Nanoseconds())
+	t3 := t2 + toPs(artifact.Nanoseconds())
+
+	rec := span.NewRecorder()
+	rec.Span(track, "queue-wait", "job", 0, t1, map[string]float64{"priority": float64(j.spec.Priority)})
+	rec.Span(track, "exec", "job", t1, t2, map[string]float64{"points": float64(j.pointsDone)})
+	rec.Span(track, "artifact-write", "job", t2, t3, nil)
+	return rec.Events(), nil
+}

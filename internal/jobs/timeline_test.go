@@ -1,0 +1,125 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"nepdvs/internal/obs"
+	"nepdvs/internal/span"
+)
+
+// stepClock hands out strictly increasing instants one second apart, so
+// every stage of a job takes a known duration.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *stepClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+// TestStageDurationsSumToWall pins the stage accounting invariant: for a
+// terminal job, queue wait + execution + artifact write equal the recorded
+// wall time exactly, because all four durations derive from the same
+// timestamps.
+func TestStageDurationsSumToWall(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := New(Options{
+		Workers: 1, Capacity: 4, Registry: reg,
+		Now: (&stepClock{t: time.Unix(1000, 0)}).now,
+		Exec: func(ctx context.Context, spec Spec, progress func(int)) (any, error) {
+			progress(1)
+			return &RunArtifact{}, nil
+		},
+	})
+	defer q.Shutdown(context.Background())
+
+	spec := specN(1)
+	spec.TraceID = "r-stages"
+	id, _, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != "r-stages" {
+		t.Errorf("status trace ID = %q", st.TraceID)
+	}
+	if st.QueueWaitNs <= 0 || st.ExecNs <= 0 || st.ArtifactWriteNs <= 0 {
+		t.Fatalf("missing stage durations: %+v", st)
+	}
+	if got := st.QueueWaitNs + st.ExecNs + st.ArtifactWriteNs; got != st.WallNs {
+		t.Fatalf("stages sum to %d ns, wall is %d ns", got, st.WallNs)
+	}
+
+	// The same stages must surface as stage-latency histogram observations.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"jobs_stage_queue_wait_seconds",
+		"jobs_stage_exec_seconds",
+		"jobs_stage_artifact_write_seconds",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Errorf("histogram %s missing or empty", name)
+		}
+	}
+}
+
+// TestTimelineMatchesStatus asserts the per-job timeline is the span form
+// of the status durations: three contiguous stage spans covering exactly
+// the wall time.
+func TestTimelineMatchesStatus(t *testing.T) {
+	q := New(Options{
+		Workers: 1, Capacity: 4,
+		Now: (&stepClock{t: time.Unix(2000, 0)}).now,
+		Exec: func(ctx context.Context, spec Spec, progress func(int)) (any, error) {
+			return &RunArtifact{}, nil
+		},
+	})
+	defer q.Shutdown(context.Background())
+
+	id, _, err := q.Submit(specN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := q.Timeline(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"queue-wait", "exec", "artifact-write"}
+	if len(events) != len(want) {
+		t.Fatalf("timeline has %d events, want %d: %+v", len(events), len(want), events)
+	}
+	var cursor int64
+	for i, ev := range events {
+		if ev.Name != want[i] || ev.Kind != span.KindSpan {
+			t.Fatalf("event %d = %+v, want span %q", i, ev, want[i])
+		}
+		if int64(ev.Start) != cursor {
+			t.Fatalf("stage %q starts at %d, want %d (stages must tile)", ev.Name, ev.Start, cursor)
+		}
+		cursor = int64(ev.End)
+	}
+	wallPs := st.WallNs * 1000
+	if cursor != wallPs {
+		t.Fatalf("stages cover %d ps, wall is %d ps", cursor, wallPs)
+	}
+
+	// Unknown and unfinished jobs are errors.
+	if _, err := q.Timeline("j-nope"); err == nil {
+		t.Error("timeline for unknown job succeeded")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"nepdvs/internal/isa"
 	"nepdvs/internal/power"
 	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 )
@@ -62,6 +63,10 @@ type Chip struct {
 	idleTicker     *sim.Ticker
 	lastIdleSample []sim.Time
 
+	// spans is the optional timeline recorder (see SetSpans); nil on the
+	// nominal path.
+	spans *span.Recorder
+
 	// faults is the optional fault-injection hook (see SetFaultInjector);
 	// nil on the nominal path.
 	faults FaultInjector
@@ -93,6 +98,37 @@ type FaultInjector interface {
 // SetFaultInjector attaches a fault injector. Call before the simulation
 // starts; a nil injector (the default) is the nominal, zero-overhead path.
 func (c *Chip) SetFaultInjector(f FaultInjector) { c.faults = f }
+
+// SetSpans attaches a timeline recorder: microengines record exec/idle
+// residency and DVS stall spans, memory controllers record their service
+// occupancy. Call before the simulation starts; every recorded value
+// derives from simulation state only, so identical runs record identical
+// streams. Nil (the default) is the zero-overhead path.
+func (c *Chip) SetSpans(r *span.Recorder) {
+	c.spans = r
+	c.sram.spans = r
+	c.sdram.spans = r
+	if r != nil {
+		// Seed the per-ME clock counters with the boot operating point so
+		// the series starts at time zero.
+		for _, me := range c.mes {
+			r.Counter(me.vfTrack, me.mhzCounter, 0, me.vf.MHz)
+		}
+	}
+}
+
+// FlushSpans closes the spans still open at the current simulation time
+// (an ME sitting idle at run end, for example). Call once after the kernel
+// drains, before exporting.
+func (c *Chip) FlushSpans() {
+	if c.spans == nil {
+		return
+	}
+	now := c.k.Now()
+	for _, me := range c.mes {
+		me.settleIdle(now)
+	}
+}
 
 // New builds a chip. programs must have one entry per ME: indices
 // [0, RxMEs) run the receive/processing code, the rest the transmit code.

@@ -49,6 +49,13 @@ type ME struct {
 	idx  int
 	prog *isa.Program
 
+	// Timeline track names, precomputed so span recording allocates
+	// nothing per event: execution/idle residency on track, VF stalls and
+	// transitions on vfTrack, the clock series under mhzCounter.
+	track      string
+	vfTrack    string
+	mhzCounter string
+
 	vf     power.VF
 	period sim.Time
 
@@ -82,6 +89,9 @@ func newME(chip *Chip, idx int, prog *isa.Program, vf power.VF) *ME {
 		ctxs: make([]context, chip.cfg.NumCtx),
 		cur:  -1, idleFrom: noTime,
 	}
+	me.track = fmt.Sprintf("me%d", idx)
+	me.vfTrack = fmt.Sprintf("me%d vf", idx)
+	me.mhzCounter = fmt.Sprintf("me%d_mhz", idx)
 	me.period = sim.NewClock(vf.MHz).Period()
 	return me
 }
@@ -142,12 +152,23 @@ func (me *ME) setVF(vf power.VF) {
 	if until > me.stallUntil {
 		// Settle any idle period: stall supersedes idle.
 		me.settleIdle(now)
+		stallFrom := now
 		if me.stallUntil > now {
 			me.stallTotal += until - me.stallUntil
+			stallFrom = me.stallUntil
 		} else {
 			me.stallTotal += penalty
 		}
+		if r := me.chip.spans; r != nil {
+			// Only the window extension is new stall time, so back-to-back
+			// transitions merge into one contiguous stall span.
+			r.Span(me.vfTrack, "stall", "dvs", stallFrom, until, nil)
+		}
 		me.stallUntil = until
+	}
+	if r := me.chip.spans; r != nil {
+		r.Instant(me.vfTrack, "vfchange", "dvs", now, map[string]float64{"mhz": vf.MHz, "volts": vf.Volts})
+		r.Counter(me.vfTrack, me.mhzCounter, now, vf.MHz)
 	}
 	stallCycles := sim.NewClock(vf.MHz).CyclesIn(penalty)
 	me.stallCycles += uint64(stallCycles)
@@ -162,6 +183,9 @@ func (me *ME) settleIdle(now sim.Time) {
 	if me.idleFrom != noTime {
 		if now > me.idleFrom {
 			me.idleTotal += now - me.idleFrom
+			if r := me.chip.spans; r != nil {
+				r.Span(me.track, "idle", "me", me.idleFrom, now, nil)
+			}
 		}
 		me.idleFrom = noTime
 	}
@@ -382,6 +406,11 @@ func (me *ME) step() {
 	me.chip.meter.Instr(instrs, me.vf)
 	end := now + sim.Time(cycles)*me.period
 	me.busyTime += sim.Time(cycles) * me.period
+	if r := me.chip.spans; r != nil {
+		// Contiguous batches merge in the recorder, so a busy stretch
+		// renders as one "exec" interval.
+		r.Span(me.track, "exec", "me", now, end, nil)
+	}
 	me.chip.emitPipeline(me.idx, instrs)
 
 	// Rotate among ready contexts at batch boundaries (pickReady scans

@@ -2,6 +2,7 @@ package npu
 
 import (
 	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 )
 
 // memRequest is one outstanding memory reference.
@@ -24,6 +25,9 @@ type memController struct {
 	active  bool
 	// service computes the occupancy of a request given the current time.
 	service func(r memRequest) sim.Time
+	// spans, when non-nil, receives one service-occupancy span per request
+	// on the controller's track (set via Chip.SetSpans).
+	spans *span.Recorder
 
 	// statistics
 	requests  uint64
@@ -65,6 +69,16 @@ func (mc *memController) serveNext(from sim.Time) {
 	occ := mc.service(r)
 	end := start + occ
 	mc.busyTil = end
+	if mc.spans != nil {
+		// Service is FCFS with non-overlapping windows, so these spans
+		// tile cleanly; back-to-back same-kind transactions merge into one
+		// busy stretch.
+		name := "read"
+		if r.write {
+			name = "write"
+		}
+		mc.spans.Span(mc.name, name, "mem", start, end, nil)
+	}
 	mc.k.Schedule(end, func() {
 		r.done()
 		mc.serveNext(end)

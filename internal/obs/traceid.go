@@ -1,0 +1,31 @@
+package obs
+
+import "context"
+
+// Trace-ID propagation for the service path. A trace ID names one client
+// interaction end to end: dvsctl mints one (or the server does), the HTTP
+// layer carries it as X-Request-ID, the job queue stores it on the job, and
+// the worker threads it through the run context so cache lookups and log
+// lines anywhere below can attribute themselves to the originating request.
+// The ID is observability-only: it must never influence what any layer
+// computes.
+
+// traceIDKey is the private context key type; a dedicated type keeps the
+// value collision-free across packages.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the trace ID. Empty IDs are not
+// stored: TraceIDFrom on the result behaves as if nothing was attached.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from the context, or "" when none is
+// attached.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Fatalf("empty context carries trace ID %q", got)
+	}
+	ctx = WithTraceID(ctx, "r-abc123")
+	if got := TraceIDFrom(ctx); got != "r-abc123" {
+		t.Fatalf("TraceIDFrom = %q, want r-abc123", got)
+	}
+	// Empty IDs are not attached: the inherited ID survives.
+	if got := TraceIDFrom(WithTraceID(ctx, "")); got != "r-abc123" {
+		t.Fatalf("empty WithTraceID clobbered inherited ID: %q", got)
+	}
+}
+
+// TestProgressNonTTYWritesNoEscapes pins the non-terminal contract: a
+// Progress built disabled (the non-TTY path) must never emit carriage
+// returns or any other bytes, whatever is called on it.
+func TestProgressNonTTYWritesNoEscapes(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgress(&buf, "runs", 5, false)
+	p.AddTotal(3)
+	for i := 0; i < 8; i++ {
+		p.RunDone(i%2 == 0)
+	}
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("non-TTY progress wrote %q", buf.String())
+	}
+	if strings.Contains(buf.String(), "\r") {
+		t.Fatalf("non-TTY progress emitted redraw escapes: %q", buf.String())
+	}
+}
+
+// TestProgressETAStableUnderAddTotal asserts growing the total after runs
+// completed keeps the ETA estimate consistent with the observed per-run
+// rate — it must scale with the remaining count, never go negative or stall.
+func TestProgressETAStableUnderAddTotal(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgress(&buf, "runs", 4, true)
+	p.minRedraw = 0
+	p.now = (&fakeClock{t: time.Unix(100, 0), step: time.Second}).now
+	p.start = time.Unix(100, 0)
+	p.RunDone(false)
+	p.RunDone(false)
+
+	eta1, ok := func() (time.Duration, bool) { p.mu.Lock(); defer p.mu.Unlock(); return p.eta() }()
+	if !ok || eta1 <= 0 {
+		t.Fatalf("eta after 2/4 = %v, %v", eta1, ok)
+	}
+
+	p.AddTotal(4) // work discovered mid-flight: now 2/8 done
+	eta2, ok := func() (time.Duration, bool) { p.mu.Lock(); defer p.mu.Unlock(); return p.eta() }()
+	if !ok || eta2 <= 0 {
+		t.Fatalf("eta after AddTotal = %v, %v", eta2, ok)
+	}
+	if eta2 < eta1 {
+		t.Fatalf("eta shrank when work grew: %v -> %v", eta1, eta2)
+	}
+	if !strings.Contains(buf.String(), "2/8") {
+		t.Fatalf("AddTotal after RunDone not reflected: %q", buf.String())
+	}
+}

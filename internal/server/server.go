@@ -12,19 +12,32 @@
 //	GET    /v1/jobs/{id}                     one job's status
 //	DELETE /v1/jobs/{id}                     cancel a job
 //	GET    /v1/jobs/{id}/artifacts/result.json   finished job's output
+//	GET    /v1/jobs/{id}/timeline            finished job's stage timeline (Perfetto JSON)
 //	GET    /metrics                          Prometheus text exposition
 //	GET    /healthz                          liveness probe
+//
+// Every response carries an X-Request-ID header: the client's, when the
+// request brought one, or a freshly minted ID otherwise. The ID is attached
+// to the request context as the trace ID, stored on submitted jobs, and
+// threaded through the queue into the run context, so one grep over the
+// daemon's structured log follows a request end to end.
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"nepdvs/internal/core"
 	"nepdvs/internal/jobs"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/span"
 )
 
 // maxBodyBytes bounds request bodies; a run config with an inline packet
@@ -64,6 +77,8 @@ type errorResponse struct {
 type Server struct {
 	queue    *jobs.Queue
 	registry *obs.Registry
+	log      *slog.Logger
+	hRequest *obs.Histogram
 	mux      *http.ServeMux
 }
 
@@ -73,24 +88,80 @@ type Options struct {
 	Queue *jobs.Queue
 	// Registry backs GET /metrics. Nil serves an empty exposition.
 	Registry *obs.Registry
+	// Logger receives one structured record per request, carrying the
+	// request's trace ID, status and latency. Nil means silent.
+	Logger *slog.Logger
 }
 
 // New builds the server and its routes.
 func New(opts Options) *Server {
-	s := &Server{queue: opts.Queue, registry: opts.Registry, mux: http.NewServeMux()}
+	s := &Server{queue: opts.Queue, registry: opts.Registry, log: opts.Logger, mux: http.NewServeMux()}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if opts.Registry != nil {
+		// 100 µs .. ~50 s in ×2 steps: status probes are sub-millisecond,
+		// artifact downloads of large sweeps take real time.
+		s.hRequest = opts.Registry.Histogram("http_request_seconds", obs.ExponentialEdges(0.0001, 2, 20))
+	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/result.json", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
+// RequestIDHeader names the trace-ID header; clients may supply one, and
+// every response carries one.
+const RequestIDHeader = "X-Request-ID"
+
+// newRequestID mints a server-side trace ID for requests that arrive
+// without one.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read on supported platforms does not fail; a degenerate ID
+		// still beats refusing the request.
+		return "r-00000000"
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP wraps the mux in the trace-ID middleware: accept or mint the
+// request ID, echo it on the response before any handler writes (so even a
+// 503 from a full queue carries it), attach it to the context, and emit one
+// structured log record plus a latency observation per request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := r.Header.Get(RequestIDHeader)
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set(RequestIDHeader, id)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r.WithContext(obs.WithTraceID(r.Context(), id)))
+	elapsed := time.Since(start)
+	if s.hRequest != nil {
+		s.hRequest.Observe(elapsed.Seconds())
+	}
+	s.log.Info("request", "trace_id", id, "method", r.Method, "path", r.URL.Path,
+		"status", rec.status, "elapsed", elapsed)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -138,7 +209,10 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	s.submit(w, jobs.Spec{Kind: jobs.KindRun, Config: req.Config, Priority: req.Priority})
+	s.submit(w, jobs.Spec{
+		Kind: jobs.KindRun, Config: req.Config, Priority: req.Priority,
+		TraceID: obs.TraceIDFrom(r.Context()),
+	})
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
@@ -155,6 +229,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 			Parallelism: req.Parallelism,
 		},
 		Priority: req.Priority,
+		TraceID:  obs.TraceIDFrom(r.Context()),
 	})
 }
 
@@ -198,6 +273,26 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(raw)
+	}
+}
+
+// handleTimeline serves a finished job's stage spans (queue wait,
+// execution, artifact write) as a Perfetto/Chrome trace-event file —
+// loadable in ui.perfetto.dev alongside a simulation timeline.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	events, err := s.queue.Timeline(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, jobs.ErrNotDone):
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if werr := span.WriteChrome(w, events); werr != nil {
+			s.log.Warn("timeline write failed", "trace_id", obs.TraceIDFrom(r.Context()), "err", werr)
+		}
 	}
 }
 

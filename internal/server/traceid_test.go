@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nepdvs/internal/jobs"
+)
+
+// doWithHeader posts a body with an explicit X-Request-ID (or none when id
+// is empty) and returns the response.
+func (h *harness) postWithID(t *testing.T, path, id string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, h.srv.URL+path, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		req.Header.Set(RequestIDHeader, id)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+// TestRequestIDEchoedAndStored asserts a client-supplied X-Request-ID is
+// echoed on the response and lands on the submitted job's status.
+func TestRequestIDEchoedAndStored(t *testing.T) {
+	h := newHarness(t, 1, 8)
+	resp, body := h.postWithID(t, "/v1/runs", "r-client-1", runBody(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "r-client-1" {
+		t.Fatalf("response %s = %q, want echo of r-client-1", RequestIDHeader, got)
+	}
+	var sub SubmitResponse
+	json.Unmarshal(body, &sub)
+	st, err := h.queue.Status(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != "r-client-1" {
+		t.Fatalf("job trace ID = %q, want r-client-1", st.TraceID)
+	}
+}
+
+// TestRequestIDGenerated asserts requests without an X-Request-ID get a
+// server-minted one on every response, including plain GETs.
+func TestRequestIDGenerated(t *testing.T) {
+	h := newHarness(t, 1, 8)
+	resp, _ := h.get(t, "/healthz")
+	id := resp.Header.Get(RequestIDHeader)
+	if !strings.HasPrefix(id, "r-") || len(id) < 10 {
+		t.Fatalf("generated request ID %q", id)
+	}
+	resp2, _ := h.get(t, "/healthz")
+	if resp2.Header.Get(RequestIDHeader) == id {
+		t.Fatalf("two requests shared generated ID %q", id)
+	}
+}
+
+// TestRequestIDOn503 asserts the middleware sets the header before the
+// handler writes, so even a backpressure 503 carries the request ID.
+func TestRequestIDOn503(t *testing.T) {
+	h := newHarness(t, 1, 1)
+	resp, body := h.post(t, "/v1/runs", runBody(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %d %s", resp.StatusCode, body)
+	}
+	var first SubmitResponse
+	json.Unmarshal(body, &first)
+	waitRunning(t, h, first.ID)
+	if resp, body = h.post(t, "/v1/runs", runBody(2)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second: %d %s", resp.StatusCode, body)
+	}
+	resp, body = h.postWithID(t, "/v1/runs", "r-rejected", runBody(3))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow: %d %s, want 503", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "r-rejected" {
+		t.Fatalf("503 response %s = %q, want r-rejected", RequestIDHeader, got)
+	}
+}
+
+// TestServerTimeline asserts a finished job serves a Perfetto trace whose
+// stage spans tile the job's recorded wall time, that unfinished jobs are
+// 409, and that the stage histograms reach /metrics.
+func TestServerTimeline(t *testing.T) {
+	h := newHarness(t, 1, 8)
+	resp, body := h.post(t, "/v1/runs", runBody(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	json.Unmarshal(body, &sub)
+
+	waitRunning(t, h, sub.ID)
+	if resp, body = h.get(t, "/v1/jobs/"+sub.ID+"/timeline"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("timeline while running: %d %s, want 409", resp.StatusCode, body)
+	}
+
+	close(h.release)
+	st := waitTerminal(t, h, sub.ID)
+	if st.State != jobs.StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Err)
+	}
+
+	resp, body = h.get(t, "/v1/jobs/"+sub.ID+"/timeline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline: %d %s", resp.StatusCode, body)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("timeline not JSON: %v", err)
+	}
+	var sumUs float64
+	stages := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" && ev.Dur != nil {
+			stages[ev.Name] = true
+			sumUs += *ev.Dur
+		}
+	}
+	for _, want := range []string{"queue-wait", "exec", "artifact-write"} {
+		if !stages[want] {
+			t.Errorf("timeline missing stage %q", want)
+		}
+	}
+	wallUs := float64(st.WallNs) / 1e3
+	if diff := sumUs - wallUs; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("stage spans sum to %v µs, wall is %v µs", sumUs, wallUs)
+	}
+
+	if resp, body = h.get(t, "/v1/jobs/j-999999/timeline"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("timeline for unknown job: %d %s, want 404", resp.StatusCode, body)
+	}
+
+	_, metrics := h.get(t, "/metrics")
+	for _, name := range []string{
+		"jobs_stage_queue_wait_seconds", "jobs_stage_exec_seconds",
+		"jobs_stage_artifact_write_seconds", "http_request_seconds",
+	} {
+		if !strings.Contains(string(metrics), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, h *harness, id string) jobs.Status {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		st, err := h.queue.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobs.Status{}
+}

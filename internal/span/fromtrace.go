@@ -1,0 +1,74 @@
+package span
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nepdvs/internal/sim"
+	"nepdvs/internal/trace"
+)
+
+// FromTrace converts a stored NPT1 trace (text or binary) into timeline
+// events for the Chrome exporter: every trace event becomes an instant on a
+// track derived from its name (ME-prefixed names land on their ME's track,
+// everything else on "chip"), and the cumulative annotations become counter
+// series (energy in µJ, forwarded packets) sampled whenever they change.
+//
+// Stored traces carry points, not intervals, so this path has no spans —
+// it is the retrofit lens for traces recorded before the span layer, wired
+// as tracestat -timeline. Live runs use nepsim -timeline for full spans.
+func FromTrace(src trace.Source) ([]Event, error) {
+	var out []Event
+	var lastEnergy float64
+	var lastPkts uint64
+	haveEnergy := false
+	for {
+		ev, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		at := sim.Time(ev.Time * float64(sim.Microsecond))
+		track, name := splitTrack(ev.Name)
+		var args map[string]float64
+		if len(ev.Extra) > 0 {
+			args = make(map[string]float64, len(ev.Extra))
+			for k, v := range ev.Extra {
+				args[k] = v
+			}
+		}
+		out = append(out, Event{
+			Kind: KindInstant, Track: track, Name: name, Cat: "trace",
+			Start: at, End: at, Args: args,
+		})
+		if !haveEnergy || ev.Energy != lastEnergy {
+			haveEnergy = true
+			lastEnergy = ev.Energy
+			out = append(out, Event{Kind: KindCounter, Track: "chip", Name: "energy_uj", Start: at, End: at, Value: ev.Energy})
+		}
+		if ev.Name == trace.EvForward && ev.TotalPkt != lastPkts {
+			lastPkts = ev.TotalPkt
+			out = append(out, Event{Kind: KindCounter, Track: "chip", Name: "forwarded_pkts", Start: at, End: at, Value: float64(ev.TotalPkt)})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("span: empty trace")
+	}
+	return out, nil
+}
+
+// splitTrack maps a trace event name to (track, display name):
+// "m2_vfchange" → ("me2", "vfchange"), anything unprefixed → ("chip", name).
+func splitTrack(name string) (string, string) {
+	if rest, ok := strings.CutPrefix(name, "m"); ok {
+		if i := strings.IndexByte(rest, '_'); i > 0 {
+			if n, err := strconv.Atoi(rest[:i]); err == nil {
+				return "me" + strconv.Itoa(n), rest[i+1:]
+			}
+		}
+	}
+	return "chip", name
+}

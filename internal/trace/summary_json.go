@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SummaryJSON is the machine-readable form of a Summary, behind tracestat
+// -json. The derived rates are materialized so consumers (scripts, CI
+// checks) need no formulas, and map keys serialize sorted, so identical
+// traces produce byte-identical documents.
+type SummaryJSON struct {
+	Events      uint64            `json:"events"`
+	FirstCycle  uint64            `json:"first_cycle"`
+	LastCycle   uint64            `json:"last_cycle"`
+	FirstUs     float64           `json:"first_us"`
+	LastUs      float64           `json:"last_us"`
+	DurationUs  float64           `json:"duration_us"`
+	EnergyUJ    float64           `json:"energy_uj"`
+	AvgPowerW   float64           `json:"avg_power_w"`
+	TotalPkt    uint64            `json:"forwarded_packets"`
+	TotalBit    uint64            `json:"forwarded_bits"`
+	ForwardMbps float64           `json:"forward_mbps"`
+	EventCounts map[string]uint64 `json:"event_counts"`
+}
+
+// JSON converts the summary into its serializable form.
+func (s *Summary) JSON() SummaryJSON {
+	return SummaryJSON{
+		Events:      s.Events,
+		FirstCycle:  s.FirstCycle,
+		LastCycle:   s.LastCycle,
+		FirstUs:     s.FirstUs,
+		LastUs:      s.LastUs,
+		DurationUs:  s.DurationUs(),
+		EnergyUJ:    s.LastEnergy - s.FirstEnergy,
+		AvgPowerW:   s.AvgPowerW(),
+		TotalPkt:    s.TotalPkt,
+		TotalBit:    s.TotalBit,
+		ForwardMbps: s.ForwardMbps(),
+		EventCounts: s.ByName,
+	}
+}
+
+// WriteJSON writes the summary as indented JSON followed by a newline.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.JSON())
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSummaryJSONGolden pins the exact -json document for a fixed trace:
+// field names, derived rates, sorted event counts and trailing newline. Any
+// drift here is a breaking change for downstream scripts.
+func TestSummaryJSONGolden(t *testing.T) {
+	evs := []Event{
+		{Name: "fifo", Cycle: 100, Time: 1.0, Energy: 2.0, TotalPkt: 1, TotalBit: 320},
+		{Name: "forward", Cycle: 200, Time: 2.0, Energy: 4.0, TotalPkt: 1, TotalBit: 320},
+		{Name: "enq", Cycle: 300, Time: 3.0, Energy: 6.0},
+		{Name: "forward", Cycle: 400, Time: 5.0, Energy: 10.0, TotalPkt: 2, TotalBit: 640},
+	}
+	s, err := Summarize(&SliceSource{Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "events": 4,
+  "first_cycle": 100,
+  "last_cycle": 400,
+  "first_us": 1,
+  "last_us": 5,
+  "duration_us": 4,
+  "energy_uj": 8,
+  "avg_power_w": 2,
+  "forwarded_packets": 2,
+  "forwarded_bits": 640,
+  "forward_mbps": 160,
+  "event_counts": {
+    "enq": 1,
+    "fifo": 1,
+    "forward": 2
+  }
+}
+`
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Errorf("summary JSON drifted:\n got: %s\nwant: %s", buf.String(), golden)
+	}
+
+	// Byte-identical across invocations (map iteration must not leak in).
+	var buf2 bytes.Buffer
+	if err := s.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two serializations of one summary differ")
+	}
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Smoke test for the timeline exporters: run a ~1k-packet simulation with
+# -timeline, validate the Perfetto JSON with timelinecheck (every ME track
+# must carry execution spans), assert the export is byte-identical across
+# two identical invocations, and round-trip a stored trace through
+# tracestat -json/-timeline. Exercises the same surface as
+# `make timeline-smoke` in CI.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+echo "timeline-smoke: building tools"
+$GO build -o "$WORK/bin/" ./cmd/nepsim ./cmd/tracestat ./cmd/timelinecheck
+
+NEPSIM="$WORK/bin/nepsim"
+TRACESTAT="$WORK/bin/tracestat"
+CHECK="$WORK/bin/timelinecheck"
+
+# ~2.5M reference cycles of high ipfwdr load arrive well over 1000 packets.
+RUN="-bench ipfwdr -level high -cycles 2500000 -seed 1 -manifest off"
+
+echo "timeline-smoke: simulating with -timeline"
+# shellcheck disable=SC2086
+"$NEPSIM" $RUN -trace "$WORK/run.trc" -timeline "$WORK/a.json" >"$WORK/stats.txt"
+
+packets=$(awk '/^offered/ {gsub(/[()]/,""); print $4}' "$WORK/stats.txt")
+if [ "${packets:-0}" -lt 1000 ]; then
+    echo "timeline-smoke: FAIL: only ${packets:-0} packets arrived, want >= 1000" >&2
+    exit 1
+fi
+
+"$CHECK" -tracks me0,me1,me2,me3,me4,me5 "$WORK/a.json"
+
+echo "timeline-smoke: repeating the run (determinism)"
+# shellcheck disable=SC2086
+"$NEPSIM" $RUN -timeline "$WORK/b.json" >/dev/null
+if ! cmp -s "$WORK/a.json" "$WORK/b.json"; then
+    echo "timeline-smoke: FAIL: identical runs wrote different timelines" >&2
+    exit 1
+fi
+
+echo "timeline-smoke: tracestat round trip"
+"$TRACESTAT" -json -timeline "$WORK/trace.json" "$WORK/run.trc" >"$WORK/summary.json"
+grep -q '"forward_mbps"' "$WORK/summary.json" || {
+    echo "timeline-smoke: FAIL: tracestat -json missing forward_mbps" >&2
+    exit 1
+}
+# Stored traces convert to instants and counters, not spans.
+"$CHECK" -tracks "" -min-spans 0 "$WORK/trace.json"
+
+echo "timeline-smoke: OK (packets=$packets)"

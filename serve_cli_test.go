@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"syscall"
@@ -228,5 +229,117 @@ func TestServeCachedSweep(t *testing.T) {
 	}
 	if m.Cache == nil || m.Cache.Hits == 0 {
 		t.Errorf("shutdown manifest cache block %+v, want nonzero hits", m.Cache)
+	}
+}
+
+// TestServeTimeline drives the observability path end to end through the
+// CLIs: a sweep submitted with an explicit request ID carries it to the
+// job's status, the per-job timeline's stage spans tile the recorded wall
+// time exactly, and the stage-latency histograms are live on /metrics.
+func TestServeTimeline(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	dvsctl := filepath.Join(bins, "dvsctl")
+	addr, stop := startDaemon(t, bins, "-log-format", "json")
+	defer stop()
+
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = 300_000
+	cfgPath := filepath.Join(work, "cfg.json")
+	b, _ := json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runTool(t, dvsctl,
+		"-addr", addr, "-request-id", "r-e2e-timeline", "sweep",
+		"-config", cfgPath, "-thresholds", "700", "-windows", "40000",
+		"-wait", "-out", filepath.Join(work, "result.json"))
+	if err != nil {
+		t.Fatalf("dvsctl sweep: %v\n%s", err, out)
+	}
+	match := regexp.MustCompile(`job (j-\d+)`).FindStringSubmatch(out)
+	if match == nil {
+		t.Fatalf("no job ID in sweep output:\n%s", out)
+	}
+	id := match[1]
+
+	// The status carries the request's trace ID and stage durations that
+	// sum to the wall time exactly (they derive from shared timestamps).
+	out, err = runTool(t, dvsctl, "-addr", addr, "status", id)
+	if err != nil {
+		t.Fatalf("dvsctl status: %v\n%s", err, out)
+	}
+	var st struct {
+		TraceID         string `json:"trace_id"`
+		QueueWaitNs     int64  `json:"queue_wait_ns"`
+		ExecNs          int64  `json:"exec_ns"`
+		ArtifactWriteNs int64  `json:"artifact_write_ns"`
+		WallNs          int64  `json:"wall_ns"`
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("status not JSON: %v\n%s", err, out)
+	}
+	if st.TraceID != "r-e2e-timeline" {
+		t.Errorf("job trace ID %q, want r-e2e-timeline", st.TraceID)
+	}
+	if st.WallNs <= 0 || st.QueueWaitNs+st.ExecNs+st.ArtifactWriteNs != st.WallNs {
+		t.Errorf("stage durations %d+%d+%d != wall %d",
+			st.QueueWaitNs, st.ExecNs, st.ArtifactWriteNs, st.WallNs)
+	}
+
+	// The exported timeline tiles the same stages.
+	tlPath := filepath.Join(work, "timeline.json")
+	out, err = runTool(t, dvsctl, "-addr", addr, "timeline", "-out", tlPath, id)
+	if err != nil {
+		t.Fatalf("dvsctl timeline: %v\n%s", err, out)
+	}
+	tb, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &tl); err != nil {
+		t.Fatalf("timeline not JSON: %v", err)
+	}
+	var sumUs float64
+	stages := map[string]bool{}
+	for _, ev := range tl.TraceEvents {
+		if ev.Ph == "X" {
+			stages[ev.Name] = true
+			sumUs += ev.Dur
+		}
+	}
+	for _, want := range []string{"queue-wait", "exec", "artifact-write"} {
+		if !stages[want] {
+			t.Errorf("timeline missing stage %q", want)
+		}
+	}
+	wallUs := float64(st.WallNs) / 1e3
+	if diff := sumUs - wallUs; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("timeline spans sum to %v us, wall is %v us", sumUs, wallUs)
+	}
+
+	// Stage-latency histograms are exposed by the daemon.
+	out, err = runTool(t, dvsctl, "-addr", addr, "metrics")
+	if err != nil {
+		t.Fatalf("dvsctl metrics: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"jobs_stage_queue_wait_seconds", "jobs_stage_exec_seconds",
+		"jobs_stage_artifact_write_seconds", "http_request_seconds",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
 	}
 }
