@@ -1,9 +1,11 @@
 # Developer entry points. `make check` is the full verification gate the CI
-# workflow runs: vet plus the race-enabled test suite.
+# workflow runs: vet plus the race-enabled test suite. `make lint` is the
+# static-analysis gate: gofmt, nepvet over the repo, and the known-bad
+# fixtures that prove the gate can fail.
 
 GO ?= go
 
-.PHONY: build vet test race check fuzz bench bench-obs bench-serve serve-smoke timeline-smoke
+.PHONY: build vet test race check lint fuzz bench bench-obs bench-serve serve-smoke timeline-smoke
 
 build:
 	$(GO) build ./...
@@ -21,13 +23,26 @@ race:
 
 check: vet race
 
-# Short fuzz smoke over the binary-trace parser and the LOC front end;
-# CI runs the same budget. Leave -fuzztime off for a real fuzzing session.
+# Static analysis: gofmt must be a no-op, nepvet must find nothing in the
+# tree (modulo lint.allow), and the deliberately-bad fixtures must fail red.
+lint:
+	@fmtout=$$(gofmt -l . 2>/dev/null); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needs to run on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) run ./cmd/nepvet
+	sh scripts/lint_fixtures.sh
+
+# Short fuzz smoke over the binary-trace parser, the LOC front end and the
+# two lint pipelines; CI runs the same budget. Leave -fuzztime off for a
+# real fuzzing session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzLOCLexer -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzLOCParse -fuzztime=$(FUZZTIME) ./internal/loc/
+	$(GO) test -fuzz=FuzzFormulaLint -fuzztime=$(FUZZTIME) ./internal/loc/
+	$(GO) test -fuzz=FuzzAsmLint -fuzztime=$(FUZZTIME) ./internal/isa/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -227,6 +227,65 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLILintExitCodes pins the exit-code contract of the static-analysis
+// front ends: 0 clean, 2 parse/usage, 3 lint finding, 4 I/O failure (the
+// internal/cli convention).
+func TestCLILintExitCodes(t *testing.T) {
+	bins := buildTools(t)
+	locheck := filepath.Join(bins, "locheck")
+	locgen := filepath.Join(bins, "locgen")
+	exitCode := func(err error) int {
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		return -1
+	}
+
+	// Clean formula lints silently with status 0.
+	out, err := runTool(t, locheck, "-lint", "-e", "cycle(forward[i+1]) - cycle(forward[i]) >= 0")
+	if code := exitCode(err); code != 0 {
+		t.Errorf("locheck -lint clean: exit %d, want 0\n%s", code, out)
+	}
+
+	// A lint finding exits 3 and names the rule.
+	out, err = runTool(t, locheck, "-lint", "-e", "cycl(forward[i]) >= 0")
+	if code := exitCode(err); code != 3 {
+		t.Errorf("locheck -lint finding: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "loc/unknown-ann") || !strings.Contains(out, "did you mean") {
+		t.Errorf("locheck -lint output:\n%s", out)
+	}
+
+	// A parse error is a malformed invocation: exit 2, like flag errors.
+	out, err = runTool(t, locheck, "-lint", "-e", "broken (((")
+	if code := exitCode(err); code != 2 {
+		t.Errorf("locheck -lint parse error: exit %d, want 2\n%s", code, out)
+	}
+
+	// An unreadable formula file is an I/O failure: exit 4.
+	out, err = runTool(t, locheck, "-lint", "-f", "/nonexistent/f.loc")
+	if code := exitCode(err); code != 4 {
+		t.Errorf("locheck missing -f: exit %d, want 4\n%s", code, out)
+	}
+
+	// locgen refuses to generate code from a formula with findings.
+	gen := filepath.Join(t.TempDir(), "out.go")
+	out, err = runTool(t, locgen, "-e", "cycl(forward[i]) >= 0", "-o", gen)
+	if code := exitCode(err); code != 3 {
+		t.Errorf("locgen lint finding: exit %d, want 3\n%s", code, out)
+	}
+	if _, serr := os.Stat(gen); serr == nil {
+		t.Error("locgen wrote output despite lint findings")
+	}
+	out, err = runTool(t, locgen, "-f", "/nonexistent/f.loc")
+	if code := exitCode(err); code != 4 {
+		t.Errorf("locgen missing -f: exit %d, want 4\n%s", code, out)
+	}
+}
+
 // TestCLIRunTimeout: a run that cannot finish inside -run-timeout must die
 // with exit status 1 and a watchdog message instead of hanging forever.
 func TestCLIRunTimeout(t *testing.T) {

@@ -3,6 +3,10 @@
 // The emitted source depends only on the Go standard library; build it with
 // `go build` and point it at a text trace.
 //
+// locgen lints the formula before generating anything (the analyze-then-
+// generate flow of the paper): findings are printed and the tool exits 3
+// without writing output.
+//
 // Examples:
 //
 //	locgen -e 'cycle(deq[i]) - cycle(enq[i]) <= 50' -o checker.go
@@ -10,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 
 	"nepdvs/internal/cli"
@@ -29,8 +35,24 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*expr, *file, *name, *out, *noSchema); err != nil {
-		cli.Die("locgen", err)
+		var le lintFindings
+		var pe *fs.PathError
+		switch {
+		case errors.As(err, &le):
+			cli.DieLint("locgen", err)
+		case errors.As(err, &pe):
+			cli.DieIO("locgen", err)
+		default:
+			cli.Die("locgen", err)
+		}
 	}
+}
+
+// lintFindings carries the finding count up to main for exit-code 3.
+type lintFindings int
+
+func (n lintFindings) Error() string {
+	return fmt.Sprintf("%d lint finding(s); no code generated", int(n))
 }
 
 func run(expr, file, name, out string, noSchema bool) error {
@@ -75,6 +97,12 @@ func run(expr, file, name, out string, noSchema bool) error {
 	schema := core.TraceSchema()
 	if noSchema {
 		schema = nil
+	}
+	if diags := loc.Lint(f, schema); len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return lintFindings(len(diags))
 	}
 	src, err := loc.GenerateGo(f, schema)
 	if err != nil {

@@ -1,21 +1,26 @@
 // Command locheck evaluates LOC assertion formulas against a simulation
 // trace: checkers report violations, distribution formulas print their
 // hist/cdf/ccdf tables. Traces may be text or binary (auto-detected) and
-// are streamed in O(window) memory.
+// are streamed in O(window) memory. With -lint the formulas are statically
+// analyzed and no trace is read at all.
 //
 // Examples:
 //
 //	locheck -e 'cycle(deq[i]) - cycle(enq[i]) <= 50' run.trc
 //	locheck -f formulas.loc run.trc
+//	locheck -lint -f formulas.loc
 //	nepsim -trace /dev/stdout | locheck -f formulas.loc
 //
-// Exit status: 0 when all checkers pass, 1 on assertion failure, 2 on
-// usage or input errors.
+// Exit status: 0 when all checkers pass (or -lint finds nothing), 1 on
+// assertion failure, 2 on usage or parse errors, 3 on lint findings,
+// 4 on I/O errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 
 	"nepdvs/internal/cli"
@@ -29,16 +34,23 @@ func main() {
 		expr     = flag.String("e", "", "formula source text")
 		file     = flag.String("f", "", "formula file")
 		noSchema = flag.Bool("no-schema", false, "skip annotation-name checking against the standard trace schema")
+		lintOnly = flag.Bool("lint", false, "statically lint the formulas and exit without reading a trace")
 	)
 	flag.Parse()
-	code, err := run(*expr, *file, *noSchema, flag.Args())
+	code, err := run(*expr, *file, *noSchema, *lintOnly, flag.Args())
 	if err != nil {
+		// I/O failures (unreadable formula file or trace) exit 4; everything
+		// else reaching here is a usage or parse problem and exits 2.
+		var pe *fs.PathError
+		if errors.As(err, &pe) {
+			cli.DieIO("locheck", err)
+		}
 		cli.DieUsage("locheck", err)
 	}
 	os.Exit(code)
 }
 
-func run(expr, file string, noSchema bool, args []string) (int, error) {
+func run(expr, file string, noSchema, lintOnly bool, args []string) (int, error) {
 	src := expr
 	if file != "" {
 		if src != "" {
@@ -52,6 +64,13 @@ func run(expr, file string, noSchema bool, args []string) (int, error) {
 	}
 	if src == "" {
 		return 0, fmt.Errorf("no formulas given (use -e or -f)")
+	}
+	schema := core.TraceSchema()
+	if noSchema {
+		schema = nil
+	}
+	if lintOnly {
+		return lint(src, schema, args)
 	}
 	in := os.Stdin
 	if len(args) > 1 {
@@ -69,10 +88,6 @@ func run(expr, file string, noSchema bool, args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	schema := core.TraceSchema()
-	if noSchema {
-		schema = nil
-	}
 	results, err := loc.RunFormulas(src, source, schema)
 	if err != nil {
 		return 0, err
@@ -85,7 +100,27 @@ func run(expr, file string, noSchema bool, args []string) (int, error) {
 		}
 	}
 	if failed {
-		return 1, nil
+		return cli.ExitRuntime, nil
+	}
+	return 0, nil
+}
+
+// lint statically analyzes the formulas: parse errors exit 2 like every
+// other malformed invocation, findings exit 3, a clean bill exits 0.
+func lint(src string, schema map[string]bool, args []string) (int, error) {
+	if len(args) > 0 {
+		return 0, fmt.Errorf("-lint reads no trace; drop the %q argument", args[0])
+	}
+	diags, parsed := loc.LintFile(src, schema)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if !parsed {
+		return cli.ExitUsage, nil
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "locheck: %d lint finding(s)\n", len(diags))
+		return cli.ExitLint, nil
 	}
 	return 0, nil
 }

@@ -1,15 +1,31 @@
 // Package cli centralizes the exit conventions shared by the nepdvs
 // command-line tools. Every fatal message is printed to stderr prefixed
-// with the tool name, and exit status is uniform across tools: 1 for
-// runtime failures, 2 for usage and bad-input errors — the same status the
-// flag package uses for parse failures, so "anything 2 is your invocation,
-// anything 1 is the run" holds for the whole tool suite.
+// with the tool name, and exit status is uniform across tools:
+//
+//	1  runtime failure (the run itself went wrong)
+//	2  usage or bad-input error — the same status the flag package uses
+//	   for parse failures, so "anything 2 is your invocation" holds
+//	3  static-analysis finding (nepvet, locheck -lint, locgen): the
+//	   inputs are well-formed but the linter objects to them
+//	4  I/O failure (unreadable input file, unwritable output)
+//
+// The 1/2 split predates the lint tooling; 3 and 4 refine it so scripts
+// can tell "your formula has a lint finding" from "your formula file does
+// not exist" without parsing stderr.
 package cli
 
 import (
 	"fmt"
 	"io"
 	"os"
+)
+
+// Exit status codes shared by the tool suite.
+const (
+	ExitRuntime = 1 // runtime failure
+	ExitUsage   = 2 // usage or bad-input error (flag package convention)
+	ExitLint    = 3 // static-analysis finding
+	ExitIO      = 4 // I/O failure
 )
 
 // Indirections for tests: exiting and the stderr stream.
@@ -19,11 +35,20 @@ var (
 )
 
 // Die reports a runtime failure ("<tool>: <err>") and exits 1.
-func Die(tool string, err error) { fail(tool, err, 1) }
+func Die(tool string, err error) { fail(tool, err, ExitRuntime) }
 
 // DieUsage reports a usage or input error and exits 2, matching
 // flag.ExitOnError's status for parse failures.
-func DieUsage(tool string, err error) { fail(tool, err, 2) }
+func DieUsage(tool string, err error) { fail(tool, err, ExitUsage) }
+
+// DieLint reports that static analysis found something and exits 3. The
+// findings themselves should already have been printed; err is the
+// one-line summary ("3 lint finding(s)").
+func DieLint(tool string, err error) { fail(tool, err, ExitLint) }
+
+// DieIO reports an input/output failure (missing file, failed write) and
+// exits 4.
+func DieIO(tool string, err error) { fail(tool, err, ExitIO) }
 
 func fail(tool string, err error, code int) {
 	fmt.Fprintf(stderr, "%s: %v\n", tool, err)

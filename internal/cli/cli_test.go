@@ -39,3 +39,17 @@ func TestDieUsage(t *testing.T) {
 		t.Errorf("DieUsage message = %q", msg)
 	}
 }
+
+func TestDieLint(t *testing.T) {
+	_, code := capture(t, func() { DieLint("locheck", errors.New("3 lint finding(s)")) })
+	if code != 3 || ExitLint != 3 {
+		t.Errorf("DieLint exit = %d, want 3", code)
+	}
+}
+
+func TestDieIO(t *testing.T) {
+	_, code := capture(t, func() { DieIO("locgen", errors.New("open f.loc: no such file")) })
+	if code != 4 || ExitIO != 4 {
+		t.Errorf("DieIO exit = %d, want 4", code)
+	}
+}

@@ -118,6 +118,7 @@ func Assemble(name, src string) (*Program, error) {
 			}
 		}
 		p.Code = append(p.Code, in)
+		p.Lines = append(p.Lines, lineNo+1)
 	}
 
 	for _, pt := range patches {

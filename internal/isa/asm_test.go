@@ -75,6 +75,10 @@ func TestAssembleErrors(t *testing.T) {
 		{"br nowhere\nhalt", "undefined label"},
 		{"x: nop\nx: halt", "duplicate label"},
 		{"pkt.f r1, r2, banana", "unknown packet field"},
+		{"mov r1", "takes 2 operands"},
+		{"sram.w r1, r2", "takes 3 operands"},
+		{"imm r-1, 5", "register"},
+		{"add r1, r2, 99", "register"},
 		{"", "empty program"},
 		{"dangling:\n", "empty program"},
 		{"nop\nend:", "points past the end"},

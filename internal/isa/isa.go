@@ -10,7 +10,10 @@
 // written in this assembly in package workload; package npu interprets it.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Op is an instruction opcode.
 type Op uint8
@@ -93,6 +96,10 @@ type Program struct {
 	Name   string
 	Code   []Instr
 	Labels map[string]int
+	// Lines holds the 1-based source line of each instruction when the
+	// program came through Assemble; empty for hand-built programs. Used
+	// by Lint for diagnostic positions.
+	Lines []int
 }
 
 // info describes an opcode's assembly syntax.
@@ -231,6 +238,11 @@ func (p *Program) Disasm() string {
 	byIndex := make(map[int][]string)
 	for name, at := range p.Labels {
 		byIndex[at] = append(byIndex[at], name)
+	}
+	// Several labels may share an instruction; sort them so the rendering
+	// is byte-identical regardless of map iteration order.
+	for _, names := range byIndex {
+		sort.Strings(names)
 	}
 	out := ""
 	for k, in := range p.Code {

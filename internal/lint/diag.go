@@ -1,0 +1,58 @@
+// Package lint implements nepvet, the repo's three-front static-analysis
+// suite. The paper's methodology is static specification checked against
+// dynamic behaviour — LOC assertions are analyzed before any simulation
+// runs — and this package applies the same analyze-before-run discipline to
+// the three languages of the reproduction itself:
+//
+//   - the repo's own Go, whose byte-identical-per-seed determinism guarantee
+//     is otherwise enforced by nothing (rules det/*),
+//   - microengine assembly programs (rules asm/*, implemented in package
+//     isa and surfaced through nepvet -asm),
+//   - LOC formulas (rules loc/*, implemented in package loc and surfaced
+//     through nepvet -loc, locheck -lint and locgen).
+//
+// Every analyzer emits "file:line:col: [rule] message" diagnostics; the
+// nepvet command exits nonzero when any finding survives the allowlist.
+// The package depends only on the standard library (go/parser, go/ast,
+// go/types, go/importer).
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diag is one finding. The rendering contract shared by all three analyzer
+// families is "file:line:col: [rule] message".
+type Diag struct {
+	File string
+	Line int
+	Col  int
+	Rule string
+	Msg  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// SortDiags orders findings by file, then position, then rule — the stable
+// order golden tests and CI output rely on.
+func SortDiags(ds []Diag) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestDiagString(t *testing.T) {
+	d := Diag{File: "internal/sim/sim.go", Line: 12, Col: 9, Rule: "det/wallclock", Msg: "wall-clock time.Now"}
+	want := "internal/sim/sim.go:12:9: [det/wallclock] wall-clock time.Now"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortDiags(t *testing.T) {
+	ds := []Diag{
+		{File: "b.go", Line: 1, Col: 1, Rule: "r"},
+		{File: "a.go", Line: 2, Col: 1, Rule: "r"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "r"},
+		{File: "a.go", Line: 1, Col: 1, Rule: "s"},
+		{File: "a.go", Line: 1, Col: 1, Rule: "r"},
+	}
+	SortDiags(ds)
+	want := []Diag{
+		{File: "a.go", Line: 1, Col: 1, Rule: "r"},
+		{File: "a.go", Line: 1, Col: 1, Rule: "s"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "r"},
+		{File: "a.go", Line: 2, Col: 1, Rule: "r"},
+		{File: "b.go", Line: 1, Col: 1, Rule: "r"},
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("after sort, ds[%d] = %v, want %v", i, ds[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// moduleImporter resolves imports for go/types without export data, which
+// modern toolchains no longer ship: module-internal paths ("nepdvs/...")
+// are mapped onto repository directories and type-checked from source
+// recursively, everything else is delegated to the stdlib source importer
+// ($GOROOT/src). Results are cached per import path for the whole run.
+type moduleImporter struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.ImporterFrom
+	cache   map[string]*types.Package
+	loading []string // import stack, to diagnose cycles instead of recursing forever
+}
+
+func (im *moduleImporter) Import(p string) (*types.Package, error) { return im.ImportFrom(p, "", 0) }
+
+func (im *moduleImporter) ImportFrom(p, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := im.cache[p]; ok {
+		return pkg, nil
+	}
+	if p != im.module && !strings.HasPrefix(p, im.module+"/") {
+		pkg, err := im.std.ImportFrom(p, dir, mode)
+		if err != nil {
+			return nil, err
+		}
+		im.cache[p] = pkg
+		return pkg, nil
+	}
+	for _, l := range im.loading {
+		if l == p {
+			return nil, fmt.Errorf("import cycle: %s", strings.Join(append(im.loading, p), " -> "))
+		}
+	}
+	im.loading = append(im.loading, p)
+	defer func() { im.loading = im.loading[:len(im.loading)-1] }()
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(p, im.module), "/")
+	abs := filepath.Join(im.root, filepath.FromSlash(rel))
+	files, err := parsePackageDir(im.fset, abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %s: %w", p, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("import %s: no Go files in %s", p, abs)
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(p, im.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("import %s: %w", p, err)
+	}
+	im.cache[p] = pkg
+	return pkg, nil
+}
+
+var _ types.ImporterFrom = (*moduleImporter)(nil)

@@ -1,0 +1,31 @@
+// Package cleanpkg is a lint fixture with zero findings: it iterates maps
+// only to collect keys for sorting, the canonical byte-stable pattern.
+package cleanpkg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Dump writes a map sorted by key.
+func Dump(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Total sums integers in map order; int addition is associative, so this
+// is fine.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

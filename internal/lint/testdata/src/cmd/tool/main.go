@@ -1,0 +1,18 @@
+// Command tool is a lint fixture for the program layer: commands may read
+// the wall clock and exit, so none of this is reported.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatalf("usage: tool")
+	}
+	fmt.Println(time.Now())
+	os.Exit(0)
+}

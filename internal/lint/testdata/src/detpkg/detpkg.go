@@ -1,0 +1,58 @@
+// Package detpkg is a lint fixture standing in for a deterministic
+// simulation package. Every construct below is a deliberate violation
+// unless the comment says otherwise; the golden test pins the exact
+// diagnostics LintGo emits for it.
+package detpkg
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock stores a wall-clock function value: det/wallclock must fire on the
+// value use, not only on call expressions.
+var Clock func() time.Time = time.Now
+
+// Stamp reads the wall clock and the process-global rand source.
+func Stamp() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}
+
+// Dump writes a map in iteration order: det/maprange.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Sum accumulates floats in map iteration order: det/floatsum.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Join concatenates strings in map iteration order: det/maprange.
+func Join(m map[string]string) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out
+}
+
+// Die exits from library code: det/exit.
+func Die() {
+	os.Exit(2)
+}
+
+// Quiet reads the wall clock under an inline suppression; no finding.
+func Quiet() time.Time {
+	//nepvet:allow det/wallclock fixture exercises inline suppression
+	return time.Now()
+}

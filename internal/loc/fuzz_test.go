@@ -47,3 +47,33 @@ func FuzzLOCParse(f *testing.F) {
 		_, _ = ParseFile(src)
 	})
 }
+
+// FuzzFormulaLint runs the full parse+lint pipeline on arbitrary source:
+// it must never panic, and every diagnostic must be well-formed and sorted
+// by position.
+func FuzzFormulaLint(f *testing.F) {
+	f.Add("p: energy(forward[i+1]) - energy(forward[i]) >= 0;")
+	f.Add("q: cycl(forward[i]) >= 0;")
+	f.Add("r: cycle(forward[i+5000000]) - cycle(forward[i]) >= 0;")
+	f.Add("s: 1 + 1 == 2;")
+	f.Add("t: cycle(a[i]) / (5 - 5) cdf [2, 1, 0];")
+	f.Add("broken: (((")
+
+	schema := map[string]bool{"cycle": true, "energy": true, "time": true}
+	f.Fuzz(func(t *testing.T, src string) {
+		ds, parsed := LintFile(src, schema)
+		if !parsed && len(ds) != 1 {
+			t.Fatalf("unparsed source must yield exactly one diag, got %v", ds)
+		}
+		for i, d := range ds {
+			if d.Rule == "" || d.Msg == "" {
+				t.Fatalf("malformed diag %+v", d)
+			}
+			// Positions are file-global and formulas are linted in file
+			// order, so lines never decrease across the findings stream.
+			if i > 0 && parsed && ds[i-1].Pos.Line > d.Pos.Line {
+				t.Fatalf("diags out of line order: %v", ds)
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"testing"
+
+	"nepdvs/internal/isa"
+)
+
+// The shipped benchmark programs must stay lint-clean: asm/uninit-read in
+// particular caught the workloads reading the rolling temporary r15 before
+// seeding it, which the model's zeroed-at-reset registers masked.
+
+func TestLintAllPrograms(t *testing.T) {
+	for _, n := range All {
+		p, err := Program(n, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range isa.Lint(p) {
+			t.Errorf("%s: %v", n, d)
+		}
+	}
+}
+
+func TestLintTxProgram(t *testing.T) {
+	p, err := TxProgram(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range isa.Lint(p) {
+		t.Errorf("tx: %v", d)
+	}
+}

@@ -161,6 +161,7 @@ func (p Params) Validate() error {
 //	r14 scratch/loop counter
 //	r15 per-benchmark temporary
 const rxPrologue = `
+	imm     r15, 0            ; seed the rolling temporary (once per context)
 main:
 	rx.pop  r0
 	imm     r1, -1
@@ -389,6 +390,7 @@ func TxProgram(p Params) (*isa.Program, error) {
 		return nil, err
 	}
 	src := fmt.Sprintf(`
+	imm     r15, 0            ; seed the rolling temporary (once per context)
 main:
 	tx.pop  r0
 	imm     r1, -1

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Prove the lint gate actually fails red. Each known-bad fixture under
+# testdata/lint/ must make nepvet exit 1 with exactly the golden
+# diagnostics in its .want file — a lint gate that cannot fail is no gate.
+# Run by `make lint` and the CI lint job.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+echo "lint-fixtures: building nepvet"
+$GO build -o "$WORK/bin/" ./cmd/nepvet
+NEPVET="$WORK/bin/nepvet"
+
+# run <name> <want-file> <nepvet args...>: expect exit 1 and golden stdout.
+run() {
+    name=$1; want=$2; shift 2
+    status=0
+    "$NEPVET" "$@" >"$WORK/$name.out" 2>"$WORK/$name.err" || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "lint-fixtures: FAIL: $name: nepvet exit $status, want 1" >&2
+        cat "$WORK/$name.out" "$WORK/$name.err" >&2
+        exit 1
+    fi
+    if ! cmp -s "$want" "$WORK/$name.out"; then
+        echo "lint-fixtures: FAIL: $name: diagnostics differ from $want:" >&2
+        diff "$want" "$WORK/$name.out" >&2 || true
+        exit 1
+    fi
+    echo "lint-fixtures: $name fails red as expected"
+}
+
+# Wall-clock read inside a (fixture) deterministic package.
+run badgo testdata/lint/badgo.want -root testdata/lint/badgo -det clock
+
+# Branch to an undefined label in microengine assembly.
+run badasm testdata/lint/bad.asm.want -asm testdata/lint/bad.asm
+
+# LOC formula referencing an annotation the trace schema does not have.
+run badloc testdata/lint/bad.loc.want -loc testdata/lint/bad.loc
+
+echo "lint-fixtures: OK"

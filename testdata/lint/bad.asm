@@ -1,0 +1,4 @@
+; Deliberately-bad fixture: branches to a label that does not exist.
+start:
+	imm r1, 0
+	br missing

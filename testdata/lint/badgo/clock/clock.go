@@ -1,0 +1,9 @@
+// Package clock is a deliberately-bad fixture: a "deterministic" package
+// that reads the wall clock. scripts/lint_fixtures.sh proves nepvet fails
+// red on it with exactly the golden diagnostic.
+package clock
+
+import "time"
+
+// Stamp leaks host time into supposedly deterministic state.
+func Stamp() int64 { return time.Now().UnixNano() }

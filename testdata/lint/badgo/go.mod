@@ -1,0 +1,3 @@
+module badfixture
+
+go 1.22
