@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check lint fuzz bench bench-obs bench-serve serve-smoke timeline-smoke
+.PHONY: build vet test race check lint fuzz bench bench-obs bench-serve bench-baseline bench-gate profile serve-smoke timeline-smoke
 
 build:
 	$(GO) build ./...
@@ -44,17 +44,59 @@ fuzz:
 	$(GO) test -fuzz=FuzzFormulaLint -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzAsmLint -fuzztime=$(FUZZTIME) ./internal/isa/
 
+# Single-shot bench sweeps: quick numbers, too noisy to gate on (use
+# bench-gate for that).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-# Like bench, but also aggregates per-run metrics into BENCH_obs.json.
+# Like bench, but writes the trajectory (internal/perf schema) plus
+# aggregated per-run metrics to BENCH_obs.json.
 bench-obs:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' -benchobs BENCH_obs.json .
 
-# Exploration-service benchmarks (cache-hit latency, HTTP throughput),
-# with service counters aggregated into BENCH_serve.json.
+# Exploration-service benchmarks (cache-hit latency, HTTP throughput), with
+# trajectory samples and service counters written to BENCH_serve.json.
 bench-serve:
 	$(GO) test -bench='BenchmarkCacheHit|BenchmarkServerThroughput' -benchtime=10x -run '^$$' -benchserve BENCH_serve.json .
+
+# The regression gate (DESIGN.md §14). GATE_BENCHES covers the three
+# heaviest end-to-end paths: the Figure 6 pipeline, the idle study, and the
+# shared §4.1 sweep. GATE_COUNT repeats give the trajectory medians their
+# noise immunity; GATE_THRESHOLD is deliberately generous because CI
+# machines vary — the gate exists to catch order-of-magnitude mistakes
+# (accidental O(n²), a dropped cache), not 10% drift.
+GATE_BENCHES ?= BenchmarkFig6$$|BenchmarkIdleStudy$$|BenchmarkTDVSSweep$$
+GATE_COUNT ?= 5
+GATE_CYCLES ?= 200000
+GATE_THRESHOLD ?= 40
+GATE_MIN_SAMPLES ?= 3
+
+# Refresh the committed baseline (commit the result; see DESIGN.md §14 for
+# when a refresh is legitimate).
+bench-baseline:
+	$(GO) test -bench='$(GATE_BENCHES)' -benchtime=1x -count=$(GATE_COUNT) -run '^$$' \
+		-benchcycles $(GATE_CYCLES) -benchperf BENCH_sim.json .
+
+# Re-measure the gate benches and diff against the committed baseline;
+# fails (exit 3) on a gated regression. Set BENCH_GATE_SKIP=1 to skip
+# (e.g. on a known-slow host).
+bench-gate:
+ifdef BENCH_GATE_SKIP
+	@echo "bench-gate: skipped (BENCH_GATE_SKIP set)"
+else
+	$(GO) test -bench='$(GATE_BENCHES)' -benchtime=1x -count=$(GATE_COUNT) -run '^$$' \
+		-benchcycles $(GATE_CYCLES) -benchperf BENCH_gate.json .
+	$(GO) run ./cmd/benchdiff -threshold $(GATE_THRESHOLD) -min-samples $(GATE_MIN_SAMPLES) \
+		BENCH_sim.json BENCH_gate.json
+endif
+
+# Capture cpu/mem profiles of a representative heavy run into the
+# gitignored profiles/ directory, with -perf throughput printed alongside.
+PROFILE_CYCLES ?= 2000000
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/nepsim -bench ipfwdr -level high -policy tdvs -threshold 1000 -window 40000 \
+		-cycles $(PROFILE_CYCLES) -perf -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
 
 # End-to-end service smoke: boot dvsd with a cache, run one uncached and one
 # cached sweep, assert the cache hit counter and byte-identical artifacts.

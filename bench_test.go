@@ -6,31 +6,62 @@ package nepdvs
 // count so `go test -bench=.` stays tractable; set -benchcycles to the
 // paper's 8000000 to regenerate at full scale (the dvsexplore command does
 // that by default).
+//
+// Three flags turn a bench run into a trajectory point on the canonical
+// internal/perf schema (see DESIGN.md §14):
+//
+//	-benchperf BENCH_sim.json   per-benchmark ns/op, B/op, allocs/op and
+//	                            domain throughput (simulated cycles/sec,
+//	                            packets/sec), aggregated median/min over
+//	                            -count repeats
+//	-benchobs  BENCH_obs.json   the same, plus the aggregated run metrics
+//	                            (run counts, failures, wall histogram)
+//	-benchserve BENCH_serve.json  the serve benchmarks' samples plus the
+//	                            service cache/jobs counters
+//	                            (see serve_bench_test.go)
+//
+// Single-shot -benchtime=1x numbers are too noisy to gate on; `make
+// bench-gate` runs the gate benches with -count=5 so the trajectory's
+// medians mean something, then diffs against the committed baseline with
+// cmd/benchdiff.
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"nepdvs/internal/experiments"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/perf"
 	"nepdvs/internal/workload"
 )
 
 var (
 	benchCycles = flag.Int64("benchcycles", 400_000, "reference cycles per simulation in benchmarks")
-	benchObs    = flag.String("benchobs", "", "aggregate per-run metrics across all benchmarks into this JSON file (e.g. BENCH_obs.json)")
+	benchObs    = flag.String("benchobs", "", "aggregate per-run metrics across all benchmarks into this trajectory JSON file (e.g. BENCH_obs.json)")
+	benchPerf   = flag.String("benchperf", "", "write the canonical benchmark trajectory (internal/perf schema) to this JSON file (e.g. BENCH_sim.json)")
 )
 
-// TestMain exists for the metrics dump flags: with -benchobs every
-// simulation run in the package (benchmarks and tests alike) reports into
-// one metrics registry, snapshotted to the given file after the run — run
-// counts, failures and the wall-time histogram. With -benchserve the serve
-// benchmarks (see serve_bench_test.go) aggregate their cache and job
-// counters the same way.
+// perfRec collects per-invocation benchmark samples whenever any trajectory
+// output was requested; nil keeps the measurement entirely out of plain
+// bench runs.
+var perfRec *perf.Recorder
+
+// TestMain exists for the trajectory dump flags: with -benchperf (and/or
+// -benchobs) every benchmark in the package records its host-time and
+// domain-throughput samples into one recorder, written as a perf.Trajectory
+// after the run. -benchobs additionally aggregates per-run metrics — run
+// counts, failures and the wall-time histogram — into the trajectory's
+// metrics block. The serve dump (see serve_bench_test.go) only runs when
+// -benchserve was actually set; TestBenchServeDumpFlagOff pins that.
 func TestMain(m *testing.M) {
 	flag.Parse()
+	if *benchPerf != "" || *benchObs != "" || *benchServe != "" {
+		perfRec = perf.NewRecorder()
+	}
 	var reg *obs.Registry
 	remove := func() {}
 	if *benchObs != "" {
@@ -38,19 +69,27 @@ func TestMain(m *testing.M) {
 		remove = experiments.ObserveRuns(reg, nil)
 	}
 	code := m.Run()
-	if reg != nil {
-		remove()
-		if err := reg.Snapshot().WriteJSONFile(*benchObs); err != nil {
-			fmt.Fprintln(os.Stderr, "benchobs:", err)
-			if code == 0 {
-				code = 1
-			}
-		}
-	}
-	if err := writeBenchServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchserve:", err)
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
 		if code == 0 {
 			code = 1
+		}
+	}
+	if reg != nil {
+		remove()
+		snap := reg.Snapshot()
+		if err := perf.NewTrajectory("obs", perfRec, &snap).WriteFile(*benchObs); err != nil {
+			fail("benchobs", err)
+		}
+	}
+	if *benchPerf != "" {
+		if err := perf.NewTrajectory("sim", perfRec, nil).WriteFile(*benchPerf); err != nil {
+			fail("benchperf", err)
+		}
+	}
+	if *benchServe != "" {
+		if err := writeBenchServe(perfRec); err != nil {
+			fail("benchserve", err)
 		}
 	}
 	os.Exit(code)
@@ -60,10 +99,65 @@ func opts() experiments.Options {
 	return experiments.Options{Cycles: *benchCycles, Parallelism: 8, Seed: 1}
 }
 
+// sampleRun measures one benchmark invocation — wall time and the
+// process-wide allocation delta around the b.N loop — for the trajectory
+// recorder. A nil receiver (no trajectory output requested) makes both
+// calls no-ops so plain bench runs stay unperturbed.
+type sampleRun struct {
+	n     int
+	start time.Time
+	mem   runtime.MemStats
+}
+
+// beginSample starts measuring an invocation of n operations; it returns
+// nil when no trajectory output was requested.
+func beginSample(n int) *sampleRun {
+	if perfRec == nil {
+		return nil
+	}
+	s := &sampleRun{n: n}
+	// The cumulative TotalAlloc/Mallocs counters survive GC, so the delta
+	// is the true allocation volume of the loop, not the live heap.
+	runtime.ReadMemStats(&s.mem)
+	s.start = time.Now()
+	return s
+}
+
+// end records the finished invocation under the benchmark's name. reg,
+// when non-nil, carries the invocation's simulation counters
+// (core_ref_cycles, npu_pkts_arrived) from which the domain throughput is
+// derived.
+func (s *sampleRun) end(name string, reg *obs.Registry) {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	n := float64(s.n)
+	p := perf.Sample{
+		NsPerOp:     float64(wall.Nanoseconds()) / n,
+		BytesPerOp:  float64(mem.TotalAlloc-s.mem.TotalAlloc) / n,
+		AllocsPerOp: float64(mem.Mallocs-s.mem.Mallocs) / n,
+	}
+	if secs := wall.Seconds(); reg != nil && secs > 0 {
+		p.SimCyclesPerSec = float64(reg.Counter("core_ref_cycles").Value()) / secs
+		p.SimPacketsPerSec = float64(reg.Counter("npu_pkts_arrived").Value()) / secs
+	}
+	perfRec.Record(name, p)
+}
+
 func benchReport(b *testing.B, id string) {
 	b.Helper()
+	o := opts()
+	var reg *obs.Registry
+	if perfRec != nil {
+		reg = obs.NewRegistry()
+		o.Metrics = reg
+	}
+	s := beginSample(b.N)
 	for i := 0; i < b.N; i++ {
-		reports, err := experiments.Run(id, opts())
+		reports, err := experiments.Run(id, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,6 +165,7 @@ func benchReport(b *testing.B, id string) {
 			b.Fatalf("%s produced no output", id)
 		}
 	}
+	s.end(b.Name(), reg)
 }
 
 // BenchmarkFig1 regenerates the IXP family table (Figure 1).
@@ -120,9 +215,17 @@ func BenchmarkAblationCombined(b *testing.B) { benchReport(b, "ablation-combined
 // BenchmarkTDVSSweep measures the shared §4.1 sweep that Figures 6–9 are
 // views of, end to end.
 func BenchmarkTDVSSweep(b *testing.B) {
+	o := opts()
+	var reg *obs.Registry
+	if perfRec != nil {
+		reg = obs.NewRegistry()
+		o.Metrics = reg
+	}
+	s := beginSample(b.N)
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTDVSSweep(workload.IPFwdr, opts()); err != nil {
+		if _, err := experiments.RunTDVSSweep(workload.IPFwdr, o); err != nil {
 			b.Fatal(err)
 		}
 	}
+	s.end(b.Name(), reg)
 }

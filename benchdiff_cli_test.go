@@ -1,0 +1,138 @@
+package nepdvs
+
+// End-to-end tests of cmd/benchdiff over the golden trajectory fixtures in
+// testdata/benchdiff: each scenario pins both the exit status (per the
+// internal/cli convention — 0 clean, 3 regression, 2 schema/usage,
+// 4 unreadable input) and the load-bearing lines of the report. Skipped in
+// -short mode like the other CLI pipelines.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runBenchdiff invokes the built benchdiff binary on two fixtures and
+// returns combined output plus the exit code (0 when the run succeeded).
+func runBenchdiff(t *testing.T, bins string, args ...string) (string, int) {
+	t.Helper()
+	full := make([]string, 0, len(args))
+	for _, a := range args {
+		if strings.HasSuffix(a, ".json") && !filepath.IsAbs(a) {
+			a = filepath.Join("testdata", "benchdiff", a)
+		}
+		full = append(full, a)
+	}
+	out, err := runTool(t, filepath.Join(bins, "benchdiff"), full...)
+	if err == nil {
+		return out, 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("benchdiff %v: %v\n%s", args, err, out)
+	}
+	return out, ee.ExitCode()
+}
+
+func TestBenchdiffCLI(t *testing.T) {
+	bins := buildTools(t)
+
+	t.Run("SelfIsClean", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", "baseline.json")
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "0 regression(s)") {
+			t.Errorf("summary missing clean regression count:\n%s", out)
+		}
+	})
+
+	t.Run("Improvement", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", "improved.json")
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0 (improvements never gate)\n%s", code, out)
+		}
+		if !strings.Contains(out, "better") {
+			t.Errorf("report missing better classification:\n%s", out)
+		}
+	})
+
+	t.Run("RegressionGates", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", "regressed.json")
+		if code != 3 {
+			t.Fatalf("exit = %d, want 3 on a 2x slowdown\n%s", code, out)
+		}
+		if !strings.Contains(out, "[REGRESSION]") || !strings.Contains(out, "1 regression(s)") {
+			t.Errorf("regression report:\n%s", out)
+		}
+	})
+
+	t.Run("NoiseInsideThreshold", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", "noisy.json")
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0 on a ~4%% drift inside the 10%% band\n%s", code, out)
+		}
+		if !strings.Contains(out, "unchanged") {
+			t.Errorf("noise should classify unchanged:\n%s", out)
+		}
+	})
+
+	t.Run("NoiseGatesUnderTightThreshold", func(t *testing.T) {
+		// The same drift fails once the caller tightens the band: the
+		// threshold flag is live, not cosmetic.
+		out, code := runBenchdiff(t, bins, "-threshold", "2", "baseline.json", "noisy.json")
+		if code != 3 {
+			t.Fatalf("exit = %d, want 3 with -threshold 2\n%s", code, out)
+		}
+	})
+
+	t.Run("MissingBenchmark", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", "missing.json")
+		if code != 3 {
+			t.Fatalf("exit = %d, want 3 when a benchmark disappears\n%s", code, out)
+		}
+		if !strings.Contains(out, "missing") || !strings.Contains(out, "BenchmarkBeta") {
+			t.Errorf("missing-benchmark report:\n%s", out)
+		}
+	})
+
+	t.Run("MinSamplesFloor", func(t *testing.T) {
+		// Raising the floor above the fixtures' 5 repeats demotes every
+		// comparison — including the 2x slowdown — to low-samples.
+		out, code := runBenchdiff(t, bins, "-min-samples", "6", "baseline.json", "regressed.json")
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0 when samples are below the floor\n%s", code, out)
+		}
+		if !strings.Contains(out, "low-samples") {
+			t.Errorf("low-samples report:\n%s", out)
+		}
+	})
+
+	t.Run("SchemaMismatch", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", "schema99.json")
+		if code != 2 {
+			t.Fatalf("exit = %d, want 2 on a schema-version mismatch\n%s", code, out)
+		}
+		if !strings.Contains(out, "schema") {
+			t.Errorf("schema error message:\n%s", out)
+		}
+	})
+
+	t.Run("UnreadableInput", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json", filepath.Join(t.TempDir(), "nope.json"))
+		if code != 4 {
+			t.Fatalf("exit = %d, want 4 on a missing input file\n%s", code, out)
+		}
+	})
+
+	t.Run("Usage", func(t *testing.T) {
+		out, code := runBenchdiff(t, bins, "baseline.json")
+		if code != 2 {
+			t.Fatalf("exit = %d, want 2 with one argument\n%s", code, out)
+		}
+		if !strings.Contains(out, "usage") {
+			t.Errorf("usage message:\n%s", out)
+		}
+	})
+}

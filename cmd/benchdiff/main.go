@@ -1,0 +1,138 @@
+// Command benchdiff compares two benchmark trajectory points written on
+// the internal/perf schema (bench_test.go -benchperf/-benchobs/-benchserve)
+// and gates on regressions:
+//
+//	benchdiff BENCH_sim.json BENCH_gate.json
+//	benchdiff -threshold 40 -min-samples 5 old.json new.json
+//
+// The gate is noise-aware: only the median of each gated metric (ns/op,
+// allocs/op) is compared, changes inside the threshold band classify as
+// unchanged, and benchmarks with fewer than -min-samples repeats on either
+// side never gate. Domain throughput (simulated cycles/sec, packets/sec)
+// and B/op are reported as context but never fail the run. A benchmark
+// present in the baseline but absent from the new point is a regression —
+// benchmarks must not silently disappear.
+//
+// Environment fingerprint differences (Go version, GOOS/GOARCH, CPU count)
+// are warnings, not failures: they mean host-time deltas may reflect the
+// machine rather than the code.
+//
+// Exit status follows the suite convention (internal/cli): 0 clean,
+// 3 regression found, 2 schema-version or suite mismatch between the two
+// files, 4 unreadable input.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"nepdvs/internal/cli"
+	"nepdvs/internal/perf"
+)
+
+func main() {
+	var (
+		threshold  = flag.Float64("threshold", 10, "percent change in a gated metric's median beyond which a benchmark classifies better/worse")
+		minSamples = flag.Int("min-samples", 3, "sample floor: benchmarks with fewer repeats on either side never gate")
+		quiet      = flag.Bool("quiet", false, "print only regressions and the summary line")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(cli.ExitUsage)
+	}
+
+	old := readTrajectory(flag.Arg(0))
+	new := readTrajectory(flag.Arg(1))
+
+	d, err := perf.Compare(old, new, perf.DiffOptions{ThresholdPct: *threshold, MinSamples: *minSamples})
+	if err != nil {
+		cli.DieUsage("benchdiff", err)
+	}
+
+	for _, f := range d.EnvMismatch {
+		fmt.Printf("warning: env mismatch: %s\n", f)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	for _, e := range d.Entries {
+		if *quiet && !e.Regression() {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", e.Bench, e.Metric, formatDelta(e), annotate(e))
+	}
+	w.Flush()
+	fmt.Printf("benchdiff: %s vs %s: %s\n", flag.Arg(0), flag.Arg(1), summarize(d))
+	if d.Regressions > 0 {
+		cli.DieLint("benchdiff", fmt.Errorf("%d regression(s)", d.Regressions))
+	}
+}
+
+func readTrajectory(path string) perf.Trajectory {
+	t, err := perf.ReadFile(path)
+	if err != nil {
+		var se *perf.SchemaError
+		if errors.As(err, &se) {
+			cli.DieUsage("benchdiff", err)
+		}
+		cli.DieIO("benchdiff", err)
+	}
+	return t
+}
+
+// formatDelta renders the comparison column: medians and percent change
+// for a real comparison, one-sided medians for missing/new entries.
+func formatDelta(e perf.Entry) string {
+	switch e.Class {
+	case perf.Missing:
+		return fmt.Sprintf("%s -> (gone)", formatVal(e.OldMedian))
+	case perf.New:
+		return fmt.Sprintf("(none) -> %s", formatVal(e.NewMedian))
+	}
+	return fmt.Sprintf("%s -> %s (%+.1f%%)", formatVal(e.OldMedian), formatVal(e.NewMedian), e.DeltaPct)
+}
+
+// formatVal renders a metric value compactly; trajectory metrics span nine
+// orders of magnitude (allocs/op to cycles/sec), so fixed precision is
+// hopeless and %g with limited digits is the readable choice.
+func formatVal(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// annotate renders the classification column, marking ungated moves so a
+// "worse" on context throughput is visibly not a gate failure.
+func annotate(e perf.Entry) string {
+	s := string(e.Class)
+	switch {
+	case e.Regression():
+		s += "  [REGRESSION]"
+	case (e.Class == perf.Worse || e.Class == perf.Better) && !e.Gated:
+		s += "  (context, not gated)"
+	case e.Class == perf.LowSamples:
+		s += fmt.Sprintf("  (%d vs %d samples)", e.OldSamples, e.NewSamples)
+	}
+	return s
+}
+
+// summarize renders the one-line class census plus the regression count.
+func summarize(d perf.Diff) string {
+	counts := map[perf.Class]int{}
+	for _, e := range d.Entries {
+		counts[e.Class]++
+	}
+	var parts []string
+	for _, c := range []perf.Class{perf.Better, perf.Worse, perf.Unchanged, perf.LowSamples, perf.Missing, perf.New} {
+		if n := counts[c]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, c))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no comparable benchmarks")
+	}
+	return fmt.Sprintf("%s; %d regression(s)", strings.Join(parts, ", "), d.Regressions)
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -72,6 +73,7 @@ type options struct {
 	cacheDir       string
 	cpuprofile     string
 	memprofile     string
+	perf           bool
 }
 
 func main() {
@@ -99,6 +101,7 @@ func main() {
 	flag.StringVar(&o.cacheDir, "cache", "", "content-addressed run cache directory (shared with dvsexplore and dvsd)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file")
+	flag.BoolVar(&o.perf, "perf", false, "measure host performance (simulated cycles/sec, events/sec, per-packet allocation) and report it; recorded in the manifest's perf block")
 	flag.Parse()
 	if err := run(o, os.Args[1:]); err != nil {
 		cli.Die("nepsim", err)
@@ -169,8 +172,10 @@ func run(o options, rawArgs []string) error {
 	}
 	cfg.Timeout = o.runTimeout
 
+	// -perf needs the run's event counters even when no -metrics file was
+	// asked for; the registry only reaches disk when -metrics is set.
 	var reg *obs.Registry
-	if o.metrics != "" {
+	if o.metrics != "" || o.perf {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -215,9 +220,23 @@ func run(o options, rawArgs []string) error {
 		}
 	}
 
+	// Host-performance measurement brackets exactly the simulation call:
+	// allocation deltas come from the runtime's cumulative counters, so GC
+	// cycles in between do not hide allocations.
+	var ms0 runtime.MemStats
+	if o.perf {
+		runtime.ReadMemStats(&ms0)
+	}
+	simStart := time.Now()
 	res, err := core.Run(cfg)
+	simWall := time.Since(simStart)
 	if err != nil {
 		return err
+	}
+	var perfSnap *obs.Snapshot
+	if o.perf {
+		s := perfSnapshot(o.cycles, simWall, ms0, res, reg)
+		perfSnap = &s
 	}
 	if closer != nil {
 		if err := closer.Close(); err != nil {
@@ -226,6 +245,9 @@ func run(o options, rawArgs []string) error {
 	}
 
 	printStats(o.bench, res)
+	if perfSnap != nil {
+		printPerf(*perfSnap, simWall)
+	}
 
 	var outputs []string
 	if o.tracePath != "" {
@@ -241,10 +263,12 @@ func run(o options, rawArgs []string) error {
 	if reg != nil {
 		s := reg.Snapshot()
 		snap = &s
-		if err := writeMetrics(o.metrics, s); err != nil {
-			return err
+		if o.metrics != "" {
+			if err := writeMetrics(o.metrics, s); err != nil {
+				return err
+			}
+			outputs = append(outputs, o.metrics)
 		}
-		outputs = append(outputs, o.metrics)
 	}
 
 	if path := manifestPath(o, outputs); path != "" {
@@ -254,6 +278,7 @@ func run(o options, rawArgs []string) error {
 		m.Cycles = o.cycles
 		m.Outputs = outputs
 		m.Metrics = snap
+		m.Perf = perfSnap
 		if store != nil {
 			m.Cache = store.Summary()
 		}
@@ -263,6 +288,43 @@ func run(o options, rawArgs []string) error {
 		}
 	}
 	return prof.Stop()
+}
+
+// perfSnapshot folds the bracketing measurements into host-performance
+// gauges: how fast the simulator simulated and what it allocated per
+// simulated packet. Everything here is wall-clock derived, so the snapshot
+// goes to the manifest's perf block and stdout — never into the
+// deterministic -metrics surface.
+func perfSnapshot(cycles int64, wall time.Duration, before runtime.MemStats, res *core.RunResult, reg *obs.Registry) obs.Snapshot {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	preg := obs.NewRegistry()
+	secs := wall.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	preg.Gauge("perf_wall_ms").Set(float64(wall) / float64(time.Millisecond))
+	preg.Gauge("perf_sim_cycles_per_sec").Set(float64(cycles) / secs)
+	if pkts := res.Stats.PktsArrived; pkts > 0 {
+		preg.Gauge("perf_sim_packets_per_sec").Set(float64(pkts) / secs)
+		preg.Gauge("perf_alloc_bytes_per_packet").Set(float64(after.TotalAlloc-before.TotalAlloc) / float64(pkts))
+		preg.Gauge("perf_allocs_per_packet").Set(float64(after.Mallocs-before.Mallocs) / float64(pkts))
+	}
+	if events := reg.Counter("sim_events_dispatched").Value(); events > 0 {
+		preg.Gauge("perf_events_per_sec").Set(float64(events) / secs)
+	}
+	return preg.Snapshot()
+}
+
+// printPerf renders the host-performance block under the run statistics.
+func printPerf(s obs.Snapshot, wall time.Duration) {
+	g := s.Gauges
+	fmt.Printf("host perf      %.2f Mcycles/s, %.2f Mevents/s, wall %v\n",
+		g["perf_sim_cycles_per_sec"]/1e6, g["perf_events_per_sec"]/1e6, wall.Round(time.Millisecond))
+	if bpp, ok := g["perf_alloc_bytes_per_packet"]; ok {
+		fmt.Printf("alloc          %.1f B/packet (%.2f allocs/packet), %.0f pkts/s\n",
+			bpp, g["perf_allocs_per_packet"], g["perf_sim_packets_per_sec"])
+	}
 }
 
 // writeMetrics serializes a snapshot, choosing Prometheus text format for

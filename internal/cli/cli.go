@@ -5,8 +5,9 @@
 //	1  runtime failure (the run itself went wrong)
 //	2  usage or bad-input error — the same status the flag package uses
 //	   for parse failures, so "anything 2 is your invocation" holds
-//	3  static-analysis finding (nepvet, locheck -lint, locgen): the
-//	   inputs are well-formed but the linter objects to them
+//	3  static-analysis finding (nepvet, locheck -lint, locgen) or a
+//	   benchmark regression (benchdiff): the inputs are well-formed but
+//	   the analysis objects to them
 //	4  I/O failure (unreadable input file, unwritable output)
 //
 // The 1/2 split predates the lint tooling; 3 and 4 refine it so scripts

@@ -542,6 +542,14 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		regs = append(regs, captureReg)
 	}
 	for _, reg := range regs {
+		// core_runs / core_ref_cycles make a shared registry self-describing
+		// for throughput math: simulated reference cycles completed per
+		// wall-clock second is core_ref_cycles over the harness's measured
+		// wall time, with no out-of-band knowledge of how many runs fed the
+		// registry. Both derive from config and completion state only, so
+		// they are deterministic and replay correctly from cached snapshots.
+		reg.Counter("core_runs").Inc()
+		reg.Counter("core_ref_cycles").Add(uint64(cfg.Cycles))
 		k.PublishMetrics(reg)
 		chip.PublishMetrics(reg)
 		if res.DVSStats != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nepdvs/internal/loc"
+	"nepdvs/internal/obs"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
@@ -446,5 +447,31 @@ func TestRunDeterminism(t *testing.T) {
 	}
 	if a.Stats.EnergyUJ != b.Stats.EnergyUJ || a.Stats.PktsSent != b.Stats.PktsSent {
 		t.Fatal("identical configs produced different results")
+	}
+}
+
+func TestRunPublishesThroughputCounters(t *testing.T) {
+	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelLow)
+	cfg.Cycles = 400_000
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["core_runs"]; got != 2 {
+		t.Fatalf("core_runs = %d, want 2", got)
+	}
+	if got := s.Counters["core_ref_cycles"]; got != 800_000 {
+		t.Fatalf("core_ref_cycles = %d, want 800000", got)
+	}
+	// The heap-operation counters must accumulate across both runs and be
+	// consistent with each other: every push eventually pops (dispatch or
+	// cancel) once the run drains.
+	if s.Counters["sim_heap_pushes"] == 0 || s.Counters["sim_heap_swaps"] == 0 {
+		t.Fatalf("heap counters missing from run snapshot: %+v", s.Counters)
 	}
 }

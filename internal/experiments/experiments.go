@@ -30,6 +30,7 @@ import (
 	"nepdvs/internal/core"
 	"nepdvs/internal/dvs"
 	"nepdvs/internal/loc"
+	"nepdvs/internal/obs"
 	"nepdvs/internal/plot"
 	"nepdvs/internal/sim"
 	"nepdvs/internal/stats"
@@ -86,6 +87,14 @@ type Options struct {
 	// RunTimeout bounds each simulation run's wall-clock time (0 =
 	// unbounded); see core.RunConfig.Timeout.
 	RunTimeout time.Duration
+	// Metrics, when non-nil, receives every run's observability counters
+	// (see core.RunConfig.Metrics): the kernel's event and heap-operation
+	// counts, the chip's packet path, and the core_runs/core_ref_cycles
+	// throughput denominators. One registry may be shared across the
+	// experiment's parallel runs — and across experiments — safely; the
+	// bench harness derives its domain throughput (cycles/sec,
+	// packets/sec) from it.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +121,7 @@ func (o Options) baseConfig(bench workload.Name, lv traffic.Level) (core.RunConf
 	}
 	cfg.Cycles = o.Cycles
 	cfg.Timeout = o.RunTimeout
+	cfg.Metrics = o.Metrics
 	return cfg, nil
 }
 

@@ -41,6 +41,12 @@ type Manifest struct {
 	// content-addressed run cache was attached (nepsim/dvsexplore -cache,
 	// or a dvsd daemon). Hits are simulations that were skipped entirely.
 	Cache *CacheSummary `json:"cache,omitempty"`
+	// Perf is the host-performance snapshot (simulated cycles/sec,
+	// per-packet allocation, events/sec) captured when the tool measured
+	// its own speed (nepsim -perf). Wall-clock derived and therefore
+	// non-deterministic, which is why it lives beside — never inside —
+	// the deterministic Metrics snapshot.
+	Perf *Snapshot `json:"perf,omitempty"`
 	// GoVersion is the toolchain that built the binary.
 	GoVersion string `json:"go_version"`
 	// GOOS/GOARCH pin the platform.

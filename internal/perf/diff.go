@@ -1,0 +1,205 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffOptions tunes the noise-awareness of a trajectory comparison.
+type DiffOptions struct {
+	// ThresholdPct is the percent change in a gated metric's median beyond
+	// which a benchmark is classified better/worse; changes inside the band
+	// are noise and classify as unchanged. Zero means the 10% default.
+	ThresholdPct float64
+	// MinSamples is the sample floor for gating: when either side of a
+	// comparison has fewer samples its medians are too noisy to trust, and
+	// the benchmark classifies as low-samples instead of better/worse.
+	// Zero means the default of 3.
+	MinSamples int
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.ThresholdPct <= 0 {
+		o.ThresholdPct = 10
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	return o
+}
+
+// Class is the outcome of comparing one benchmark metric across two
+// trajectory points.
+type Class string
+
+// Classifications. Worse and Missing are the regression classes that make
+// a diff gate fail; the rest are informational.
+const (
+	// Better: the gated metric's median improved beyond the threshold.
+	Better Class = "better"
+	// Worse: the gated metric's median regressed beyond the threshold.
+	Worse Class = "worse"
+	// Unchanged: the median moved less than the threshold — noise.
+	Unchanged Class = "unchanged"
+	// LowSamples: one side has fewer than MinSamples samples, so its
+	// median is not trustworthy enough to gate on.
+	LowSamples Class = "low-samples"
+	// Missing: the benchmark exists in the baseline but not in the new
+	// point — a benchmark silently disappearing is a regression.
+	Missing Class = "missing"
+	// New: the benchmark exists only in the new point; it has no baseline
+	// to gate against and should be added on the next baseline refresh.
+	New Class = "new"
+)
+
+// Entry is one benchmark × metric comparison.
+type Entry struct {
+	Bench  string
+	Metric string
+	Class  Class
+	// Gated marks metrics whose Worse classification fails the gate; the
+	// domain-throughput context metrics report their moves ungated.
+	Gated bool
+	// OldMedian/NewMedian are the compared aggregates; DeltaPct is the
+	// percent change from old to new (positive = the metric grew).
+	OldMedian, NewMedian, DeltaPct float64
+	// OldSamples/NewSamples count the samples behind each median.
+	OldSamples, NewSamples int
+}
+
+// Regression reports whether this entry should fail a gate.
+func (e Entry) Regression() bool { return (e.Class == Worse && e.Gated) || e.Class == Missing }
+
+// Diff is the outcome of comparing two trajectory points.
+type Diff struct {
+	// Entries is every benchmark × metric comparison, sorted by benchmark
+	// then metric, so rendering a diff is deterministic.
+	Entries []Entry
+	// EnvMismatch lists fingerprint fields that differ between the points;
+	// non-empty means host-time deltas may reflect the machine, not the
+	// code.
+	EnvMismatch []string
+	// Regressions counts entries that fail the gate (worse or missing).
+	Regressions int
+}
+
+// gatedMetric describes one metric the diff compares. lowerIsBetter is
+// true for cost metrics (time, allocations) and false for throughputs.
+// gated metrics can classify worse and fail the gate; ungated ones only
+// report better/unchanged context.
+type gatedMetric struct {
+	name          string
+	get           func(Benchmark) (Stat, bool)
+	lowerIsBetter bool
+	gated         bool
+}
+
+// metrics is the comparison order: the gate runs on host time and
+// allocation count (the two numbers optimization PRs move), while the
+// domain throughputs ride along as context.
+var metrics = []gatedMetric{
+	{"ns_per_op", func(b Benchmark) (Stat, bool) { return b.NsPerOp, b.NsPerOp.Count() > 0 }, true, true},
+	{"allocs_per_op", func(b Benchmark) (Stat, bool) { return b.AllocsPerOp, b.AllocsPerOp.Count() > 0 }, true, true},
+	{"bytes_per_op", func(b Benchmark) (Stat, bool) { return b.BytesPerOp, b.BytesPerOp.Count() > 0 }, true, false},
+	{"sim_cycles_per_sec", func(b Benchmark) (Stat, bool) {
+		if b.SimCyclesPerSec == nil {
+			return Stat{}, false
+		}
+		return *b.SimCyclesPerSec, true
+	}, false, false},
+	{"sim_packets_per_sec", func(b Benchmark) (Stat, bool) {
+		if b.SimPacketsPerSec == nil {
+			return Stat{}, false
+		}
+		return *b.SimPacketsPerSec, true
+	}, false, false},
+}
+
+// Compare diffs two trajectory points. It errors when the points belong to
+// different suites — comparing the sim trajectory against the serve one is
+// always a caller mistake — but tolerates environment differences,
+// reporting them in the Diff instead.
+func Compare(old, new Trajectory, o DiffOptions) (Diff, error) {
+	if old.Suite != new.Suite {
+		return Diff{}, fmt.Errorf("perf: suite mismatch: baseline %q vs new %q", old.Suite, new.Suite)
+	}
+	o = o.withDefaults()
+	d := Diff{EnvMismatch: old.Env.Diff(new.Env)}
+
+	names := make([]string, 0, len(old.Benchmarks)+len(new.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range new.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		ob, inOld := old.Benchmarks[name]
+		nb, inNew := new.Benchmarks[name]
+		switch {
+		case !inNew:
+			d.Entries = append(d.Entries, Entry{
+				Bench: name, Metric: "ns_per_op", Class: Missing,
+				OldMedian: ob.NsPerOp.Median, OldSamples: ob.NsPerOp.Count(),
+			})
+			continue
+		case !inOld:
+			d.Entries = append(d.Entries, Entry{
+				Bench: name, Metric: "ns_per_op", Class: New,
+				NewMedian: nb.NsPerOp.Median, NewSamples: nb.NsPerOp.Count(),
+			})
+			continue
+		}
+		for _, m := range metrics {
+			os, okOld := m.get(ob)
+			ns, okNew := m.get(nb)
+			if !okOld && !okNew {
+				continue
+			}
+			e := Entry{
+				Bench: name, Metric: m.name, Gated: m.gated,
+				OldMedian: os.Median, NewMedian: ns.Median,
+				OldSamples: os.Count(), NewSamples: ns.Count(),
+			}
+			e.Class, e.DeltaPct = classify(os, ns, m.lowerIsBetter, o)
+			d.Entries = append(d.Entries, e)
+		}
+	}
+	for _, e := range d.Entries {
+		if e.Regression() {
+			d.Regressions++
+		}
+	}
+	return d, nil
+}
+
+// classify compares one metric's aggregates under the noise rules: sample
+// floor first, then the percent-change band on medians, with the better
+// direction given by the metric's polarity.
+func classify(old, new Stat, lowerIsBetter bool, o DiffOptions) (Class, float64) {
+	var delta float64
+	switch {
+	case old.Median != 0:
+		delta = (new.Median - old.Median) / old.Median * 100
+	case new.Median != 0:
+		// From exactly zero to nonzero: an unbounded relative change. 100%
+		// keeps the sign meaningful without dividing by zero.
+		delta = 100
+	}
+	if old.Count() < o.MinSamples || new.Count() < o.MinSamples {
+		return LowSamples, delta
+	}
+	grewBeyond := delta > o.ThresholdPct
+	shrankBeyond := delta < -o.ThresholdPct
+	if !grewBeyond && !shrankBeyond {
+		return Unchanged, delta
+	}
+	if grewBeyond == lowerIsBetter {
+		return Worse, delta
+	}
+	return Better, delta
+}

@@ -1,0 +1,201 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// bench builds a Benchmark whose ns/op samples are given; the other metrics
+// stay flat so only ns_per_op classification varies.
+func bench(ns ...float64) Benchmark {
+	flat := make([]float64, len(ns))
+	for i := range flat {
+		flat[i] = 100
+	}
+	return Benchmark{NsPerOp: NewStat(ns), BytesPerOp: NewStat(flat), AllocsPerOp: NewStat(flat)}
+}
+
+func traj(benches map[string]Benchmark) Trajectory {
+	return Trajectory{Schema: SchemaVersion, Suite: "sim", Env: CurrentEnv(), Benchmarks: benches}
+}
+
+// entry finds the comparison for one benchmark × metric.
+func entry(t *testing.T, d Diff, bench, metric string) Entry {
+	t.Helper()
+	for _, e := range d.Entries {
+		if e.Bench == bench && e.Metric == metric {
+			return e
+		}
+	}
+	t.Fatalf("no entry for %s %s in %+v", bench, metric, d.Entries)
+	return Entry{}
+}
+
+func TestCompareClasses(t *testing.T) {
+	old := traj(map[string]Benchmark{
+		"BenchmarkFaster":  bench(100, 100, 100),
+		"BenchmarkSlower":  bench(100, 100, 100),
+		"BenchmarkNoise":   bench(100, 100, 100),
+		"BenchmarkSparse":  bench(100),
+		"BenchmarkDropped": bench(100, 100, 100),
+	})
+	new := traj(map[string]Benchmark{
+		"BenchmarkFaster": bench(50, 50, 50),
+		"BenchmarkSlower": bench(200, 200, 200),
+		"BenchmarkNoise":  bench(104, 105, 103),
+		"BenchmarkSparse": bench(500),
+		"BenchmarkAdded":  bench(100, 100, 100),
+	})
+	d, err := Compare(old, new, DiffOptions{ThresholdPct: 10, MinSamples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		bench string
+		class Class
+	}{
+		{"BenchmarkFaster", Better},
+		{"BenchmarkSlower", Worse},
+		{"BenchmarkNoise", Unchanged},
+		{"BenchmarkSparse", LowSamples},
+		{"BenchmarkDropped", Missing},
+		{"BenchmarkAdded", New},
+	} {
+		if got := entry(t, d, c.bench, "ns_per_op").Class; got != c.class {
+			t.Errorf("%s: class %s, want %s", c.bench, got, c.class)
+		}
+	}
+	// One ns_per_op regression plus the dropped benchmark. A 5× jump on
+	// only one sample (BenchmarkSparse) must NOT gate.
+	if d.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (worse + missing)", d.Regressions)
+	}
+}
+
+func TestCompareDeltaPct(t *testing.T) {
+	old := traj(map[string]Benchmark{"BenchmarkX": bench(100, 100, 100)})
+	new := traj(map[string]Benchmark{"BenchmarkX": bench(150, 150, 150)})
+	d, err := Compare(old, new, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entry(t, d, "BenchmarkX", "ns_per_op")
+	if e.DeltaPct != 50 {
+		t.Fatalf("delta = %v, want 50", e.DeltaPct)
+	}
+	if !e.Regression() {
+		t.Fatal("a 50% ns/op growth at default threshold must gate")
+	}
+}
+
+func TestCompareThresholdBand(t *testing.T) {
+	old := traj(map[string]Benchmark{"BenchmarkX": bench(100, 100, 100)})
+	new := traj(map[string]Benchmark{"BenchmarkX": bench(130, 130, 130)})
+	// 30% growth inside a 40% threshold: unchanged, gate passes.
+	d, err := Compare(old, new, DiffOptions{ThresholdPct: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := entry(t, d, "BenchmarkX", "ns_per_op"); e.Class != Unchanged {
+		t.Fatalf("class = %s, want unchanged at threshold 40", e.Class)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", d.Regressions)
+	}
+}
+
+func TestCompareUngatedThroughputNeverFails(t *testing.T) {
+	slow := NewStat([]float64{1e6, 1e6, 1e6})
+	fast := NewStat([]float64{9e6, 9e6, 9e6})
+	oldB := bench(100, 100, 100)
+	oldB.SimCyclesPerSec = &fast
+	newB := bench(100, 100, 100)
+	newB.SimCyclesPerSec = &slow
+	d, err := Compare(traj(map[string]Benchmark{"BenchmarkX": oldB}),
+		traj(map[string]Benchmark{"BenchmarkX": newB}), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entry(t, d, "BenchmarkX", "sim_cycles_per_sec")
+	if e.Class != Worse || e.Gated {
+		t.Fatalf("throughput collapse: class %s gated %v, want worse/ungated", e.Class, e.Gated)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("ungated metric produced %d regressions", d.Regressions)
+	}
+}
+
+func TestCompareAllocsGate(t *testing.T) {
+	oldB := bench(100, 100, 100)
+	newB := bench(100, 100, 100)
+	newB.AllocsPerOp = NewStat([]float64{300, 300, 300})
+	d, err := Compare(traj(map[string]Benchmark{"BenchmarkX": oldB}),
+		traj(map[string]Benchmark{"BenchmarkX": newB}), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := entry(t, d, "BenchmarkX", "allocs_per_op"); !e.Regression() {
+		t.Fatalf("tripled allocs/op must gate: %+v", e)
+	}
+}
+
+func TestCompareSuiteMismatch(t *testing.T) {
+	old := traj(nil)
+	serve := old
+	serve.Suite = "serve"
+	if _, err := Compare(old, serve, DiffOptions{}); err == nil || !strings.Contains(err.Error(), "suite mismatch") {
+		t.Fatalf("err = %v, want suite mismatch", err)
+	}
+}
+
+func TestCompareEnvMismatchReported(t *testing.T) {
+	old := traj(map[string]Benchmark{"BenchmarkX": bench(100, 100, 100)})
+	new := traj(map[string]Benchmark{"BenchmarkX": bench(100, 100, 100)})
+	new.Env.NumCPU = old.Env.NumCPU + 1
+	d, err := Compare(old, new, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.EnvMismatch) != 1 || !strings.Contains(d.EnvMismatch[0], "num_cpu") {
+		t.Fatalf("env mismatch = %v", d.EnvMismatch)
+	}
+	if d.Regressions != 0 {
+		t.Fatal("env mismatch alone must not gate")
+	}
+}
+
+func TestCompareEntriesSorted(t *testing.T) {
+	old := traj(map[string]Benchmark{
+		"BenchmarkB": bench(100, 100, 100),
+		"BenchmarkA": bench(100, 100, 100),
+		"BenchmarkC": bench(100, 100, 100),
+	})
+	d, err := Compare(old, old, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range d.Entries {
+		if e.Bench < last {
+			t.Fatalf("entries not sorted by benchmark: %s after %s", e.Bench, last)
+		}
+		last = e.Bench
+	}
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	tr := traj(map[string]Benchmark{"BenchmarkX": bench(100, 110, 90, 105, 95)})
+	d, err := Compare(tr, tr, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 || len(d.EnvMismatch) != 0 {
+		t.Fatalf("self compare: %+v", d)
+	}
+	for _, e := range d.Entries {
+		if e.Class != Unchanged {
+			t.Fatalf("self compare entry not unchanged: %+v", e)
+		}
+	}
+}

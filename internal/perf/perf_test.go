@@ -1,0 +1,151 @@
+package perf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nepdvs/internal/obs"
+)
+
+func TestNewStat(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		median  float64
+		min     float64
+		max     float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2, 1, 3},
+		{"even", []float64{4, 1, 3, 2}, 2.5, 1, 4},
+		{"single", []float64{7}, 7, 7, 7},
+		{"repeated", []float64{5, 5, 5, 5, 5}, 5, 5, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewStat(c.samples)
+			if s.Median != c.median || s.Min != c.min || s.Max != c.max {
+				t.Fatalf("NewStat(%v) = median %v min %v max %v, want %v/%v/%v",
+					c.samples, s.Median, s.Min, s.Max, c.median, c.min, c.max)
+			}
+			if s.Count() != len(c.samples) {
+				t.Fatalf("Count() = %d, want %d", s.Count(), len(c.samples))
+			}
+		})
+	}
+	if s := NewStat(nil); s.Count() != 0 || s.Median != 0 {
+		t.Fatalf("NewStat(nil) = %+v, want zero", s)
+	}
+}
+
+func TestNewStatPreservesOrderAndInput(t *testing.T) {
+	in := []float64{9, 1, 5}
+	s := NewStat(in)
+	if !reflect.DeepEqual(s.Samples, []float64{9, 1, 5}) {
+		t.Fatalf("samples reordered: %v", s.Samples)
+	}
+	if !reflect.DeepEqual(in, []float64{9, 1, 5}) {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestRecorderAggregation(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record("BenchmarkA", Sample{NsPerOp: 100, BytesPerOp: 10, AllocsPerOp: 1, SimCyclesPerSec: 1e6, SimPacketsPerSec: 1e3})
+	rec.Record("BenchmarkA", Sample{NsPerOp: 300, BytesPerOp: 30, AllocsPerOp: 3, SimCyclesPerSec: 3e6, SimPacketsPerSec: 3e3})
+	rec.Record("BenchmarkA", Sample{NsPerOp: 200, BytesPerOp: 20, AllocsPerOp: 2, SimCyclesPerSec: 2e6, SimPacketsPerSec: 2e3})
+	rec.Record("BenchmarkB", Sample{NsPerOp: 50})
+
+	b := rec.Benchmarks()
+	a := b["BenchmarkA"]
+	if a.NsPerOp.Median != 200 || a.NsPerOp.Min != 100 || a.NsPerOp.Count() != 3 {
+		t.Fatalf("ns_per_op aggregate: %+v", a.NsPerOp)
+	}
+	if a.SimCyclesPerSec == nil || a.SimCyclesPerSec.Median != 2e6 {
+		t.Fatalf("sim_cycles_per_sec aggregate: %+v", a.SimCyclesPerSec)
+	}
+	if a.SimPacketsPerSec == nil || a.SimPacketsPerSec.Median != 2e3 {
+		t.Fatalf("sim_packets_per_sec aggregate: %+v", a.SimPacketsPerSec)
+	}
+	// BenchmarkB measured no domain throughput: the aggregates must be
+	// absent, not zero-valued.
+	if bb := b["BenchmarkB"]; bb.SimCyclesPerSec != nil || bb.SimPacketsPerSec != nil {
+		t.Fatalf("BenchmarkB should have no domain throughput: %+v", bb)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				rec.Record("BenchmarkConc", Sample{NsPerOp: float64(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := rec.Benchmarks()["BenchmarkConc"].NsPerOp.Count(); n != 800 {
+		t.Fatalf("recorded %d samples, want 800", n)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	for _, ns := range []float64{100, 120, 110} {
+		rec.Record("BenchmarkFig6", Sample{NsPerOp: ns, BytesPerOp: ns * 10, AllocsPerOp: ns / 10, SimCyclesPerSec: 1e9 / ns})
+	}
+	snap := obs.Snapshot{Counters: map[string]uint64{"experiments_runs_completed": 17}}
+	tr := NewTrajectory("sim", rec, &snap)
+	if tr.Schema != SchemaVersion || tr.Suite != "sim" {
+		t.Fatalf("header: %+v", tr)
+	}
+	if tr.Env != CurrentEnv() {
+		t.Fatalf("env not stamped: %+v", tr.Env)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestReadFileSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "suite": "sim"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SchemaError", err)
+	}
+	if se.Got != 99 {
+		t.Fatalf("SchemaError.Got = %d, want 99", se.Got)
+	}
+}
+
+func TestEnvDiff(t *testing.T) {
+	a := Env{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 8}
+	if d := a.Diff(a); len(d) != 0 {
+		t.Fatalf("self diff: %v", d)
+	}
+	b := a
+	b.GoVersion = "go1.23"
+	b.NumCPU = 16
+	if d := a.Diff(b); len(d) != 2 {
+		t.Fatalf("diff = %v, want 2 entries", d)
+	}
+}

@@ -9,7 +9,17 @@ func (k *Kernel) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("sim_events_scheduled").Add(k.Scheduled())
 	reg.Counter("sim_events_dispatched").Add(k.Dispatched())
 	reg.Counter("sim_events_cancelled").Add(k.Cancelled())
+	// Heap-operation counters: the hot-path work profile of the event
+	// queue. Swaps are the sift cost an event-queue optimization must
+	// move; pushes/pops are the traffic it serves.
+	reg.Counter("sim_heap_pushes").Add(k.HeapPushes())
+	reg.Counter("sim_heap_pops").Add(k.HeapPops())
+	reg.Counter("sim_heap_swaps").Add(k.HeapSwaps())
 	reg.Gauge("sim_heap_high_water").SetMax(float64(k.HeapHighWater()))
 	reg.Gauge("sim_heap_pending").Set(float64(k.Pending()))
 	reg.Gauge("sim_time_ps").Set(float64(k.Now()))
+	// sim_time_total_ps accumulates across runs sharing a registry, unlike
+	// the last-run sim_time_ps gauge — it is the denominator-free total a
+	// trajectory's cycles/sec is derived from.
+	reg.Counter("sim_time_total_ps").Add(uint64(k.Now()))
 }

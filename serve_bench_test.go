@@ -4,13 +4,15 @@ package nepdvs
 // identical run is served from the content-addressed store, versus
 // simulating) and HTTP round-trip throughput through the full
 // server → queue → executor path with a stub executor. With -benchserve the
-// service metrics (cache and jobs counters) are snapshotted to the given
-// JSON file, the serve-side counterpart of -benchobs.
+// benchmarks' trajectory samples plus the service metrics (cache and jobs
+// counters) are written to the given JSON file on the internal/perf schema,
+// the serve-side counterpart of -benchobs.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"net/http"
 	"net/http/httptest"
@@ -20,12 +22,13 @@ import (
 	"nepdvs/internal/core"
 	"nepdvs/internal/jobs"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/perf"
 	"nepdvs/internal/server"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
 
-var benchServe = flag.String("benchserve", "", "write service metrics (cache + jobs counters) to this JSON file (e.g. BENCH_serve.json)")
+var benchServe = flag.String("benchserve", "", "write the serve benchmark trajectory (internal/perf schema, incl. cache + jobs counters) to this JSON file (e.g. BENCH_serve.json)")
 
 // serveReg aggregates service metrics across the serve benchmarks when
 // -benchserve is set; TestMain snapshots it on exit.
@@ -41,13 +44,39 @@ func serveRegistry() *obs.Registry {
 	return serveReg
 }
 
-// writeBenchServe dumps the aggregated service metrics; called from
-// TestMain after the benchmarks run.
-func writeBenchServe() error {
-	if *benchServe == "" || serveReg == nil {
-		return nil
+// writeBenchServe dumps the serve trajectory: the recorded benchmark
+// samples plus the aggregated service metrics. TestMain calls it only when
+// -benchserve was set; calling it with the flag off is a harness bug (the
+// old TestMain did exactly that on every plain `go test` run), so it
+// refuses rather than silently writing to an empty path.
+func writeBenchServe(rec *perf.Recorder) error {
+	if *benchServe == "" {
+		return errors.New("writeBenchServe called without -benchserve")
 	}
-	return serveReg.Snapshot().WriteJSONFile(*benchServe)
+	var snap *obs.Snapshot
+	if serveReg != nil {
+		s := serveReg.Snapshot()
+		snap = &s
+	}
+	return perf.NewTrajectory("serve", rec, snap).WriteFile(*benchServe)
+}
+
+// TestBenchServeDumpFlagOff pins the flag-off contract: without -benchserve
+// the dump must refuse to run and the serve benchmarks must get isolated
+// registries rather than feeding a package-level aggregate.
+func TestBenchServeDumpFlagOff(t *testing.T) {
+	if *benchServe != "" {
+		t.Skip("-benchserve set; flag-off path not reachable")
+	}
+	if err := writeBenchServe(perf.NewRecorder()); err == nil {
+		t.Fatal("writeBenchServe succeeded with -benchserve unset; want refusal")
+	}
+	if serveReg != nil {
+		t.Fatal("serveReg allocated with -benchserve unset")
+	}
+	if serveRegistry() == serveRegistry() {
+		t.Fatal("serveRegistry reused a registry with -benchserve unset; want a fresh one per call")
+	}
 }
 
 // BenchmarkCacheHit measures serving one simulation run from the on-disk
@@ -72,18 +101,30 @@ func BenchmarkCacheHit(b *testing.B) {
 		b.Fatal(err)
 	}
 
+	// Attach the domain-throughput registry only after the priming miss:
+	// Metrics is normalized out of the cache key, so the timed runs still
+	// hit, and every hit merges the stored counters (core_ref_cycles,
+	// npu_pkts_arrived) — packets *served* per second, not simulated.
+	var mreg *obs.Registry
+	if perfRec != nil {
+		mreg = obs.NewRegistry()
+		cfg.Metrics = mreg
+	}
 	b.ResetTimer()
+	s := beginSample(b.N)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+	s.end(b.Name(), mreg)
 }
 
 // BenchmarkServerThroughput measures HTTP round trips through the full
 // submit → execute → poll → fetch path with an executor stub, isolating the
 // service overhead from simulation cost. Each iteration uses a distinct
-// config so dedup never collapses the work.
+// config so dedup never collapses the work. No simulation happens, so the
+// trajectory sample carries host-time metrics only.
 func BenchmarkServerThroughput(b *testing.B) {
 	reg := serveRegistry()
 	q := jobs.New(jobs.Options{Workers: 4, Capacity: 1024, Registry: reg,
@@ -98,6 +139,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 	defer srv.Close()
 
 	b.ResetTimer()
+	s := beginSample(b.N)
 	for i := 0; i < b.N; i++ {
 		body, _ := json.Marshal(server.RunRequest{Config: core.RunConfig{Cycles: int64(1_000_000 + i)}})
 		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(body))
@@ -124,4 +166,5 @@ func BenchmarkServerThroughput(b *testing.B) {
 			b.Fatalf("artifact: %d", art.StatusCode)
 		}
 	}
+	s.end(b.Name(), nil)
 }
