@@ -25,6 +25,13 @@
 // submission, the job's execution, and any artifact fetches to this one
 // client action. Submissions print the ID on stderr for later grep.
 //
+// Requests retry transient connection errors with capped exponential
+// backoff and jitter, and honor Retry-After on 503 (a loaded queue); a 503
+// without Retry-After means the daemon is draining and fails fast. With
+// "sweep -peers", dvsctl itself coordinates a federated sweep across a
+// cluster of daemons (see internal/federation) instead of submitting to
+// one.
+//
 // Examples:
 //
 //	dvsctl config -bench ipfwdr -level high -cycles 2000000 > cfg.json
@@ -35,9 +42,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +58,8 @@ import (
 
 	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
+	"nepdvs/internal/federation"
+	"nepdvs/internal/jobs"
 	"nepdvs/internal/server"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
@@ -107,10 +118,28 @@ func main() {
 }
 
 // client is a thin JSON-over-HTTP helper bound to one daemon. Every request
-// carries the invocation's X-Request-ID.
+// carries the invocation's X-Request-ID and goes through the federation
+// client's retry policy: transient connection errors retry with capped
+// exponential backoff and jitter, a 503 with Retry-After honors the header,
+// and a bare 503 (the daemon draining) fails fast.
 type client struct {
 	base      string
 	requestID string
+}
+
+// fed builds the retrying transport for this client.
+func (c client) fed() *federation.Client {
+	h := http.Header{}
+	if c.requestID != "" {
+		h.Set(server.RequestIDHeader, c.requestID)
+	}
+	return &federation.Client{
+		Base:      c.base,
+		Budget:    4,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  2 * time.Second,
+		Header:    h,
+	}
 }
 
 // newRequestID mints the invocation's trace ID.
@@ -122,55 +151,14 @@ func newRequestID() string {
 	return "r-" + hex.EncodeToString(b[:])
 }
 
-// do performs a request and decodes the response: into out on 2xx, into the
-// server's error envelope otherwise.
+// do performs a request with retries and decodes the response: into out on
+// 2xx, into the server's error envelope otherwise.
 func (c client) do(method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(b)
+	_, err := c.fed().DoJSON(context.Background(), method, path, body, out)
+	if errors.Is(err, federation.ErrDraining) {
+		return fmt.Errorf("daemon at %s is shutting down; retry after it restarts", c.base)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.requestID != "" {
-		req.Header.Set(server.RequestIDHeader, c.requestID)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s (%s)", e.Error, resp.Status)
-		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
-	}
-	switch dst := out.(type) {
-	case nil:
-	case *[]byte:
-		*dst = raw
-	default:
-		if err := json.Unmarshal(raw, out); err != nil {
-			return fmt.Errorf("decode %s %s response: %w", method, path, err)
-		}
-	}
-	return nil
+	return err
 }
 
 // readConfig loads a core.RunConfig from a JSON file ("-" = stdin).
@@ -270,6 +258,7 @@ func cmdSweep(c client, args []string) error {
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
 	wait := fs.Bool("wait", false, "block until the job finishes")
 	out := fs.String("out", "", "with -wait: write the artifact to this file (- = stdout)")
+	peers := fs.String("peers", "", "federate from this client across these nodes (name=url or url, comma-separated) instead of submitting to -addr")
 	fs.Parse(args)
 	cfg, err := readConfig(*config)
 	if err != nil {
@@ -283,8 +272,47 @@ func cmdSweep(c client, args []string) error {
 	if err != nil {
 		return fmt.Errorf("-windows: %w", err)
 	}
+	if *peers != "" {
+		return clientSweep(*peers, cfg, ths, wins, *out)
+	}
 	req := server.SweepRequest{Config: cfg, Thresholds: ths, Windows: wins, Parallelism: *par, Priority: *priority}
 	return submit(c, "/v1/sweeps", req, *wait, *out)
+}
+
+// clientSweep federates a sweep from this process: dvsctl itself is the
+// coordinator, sharding points across the named nodes, stealing from dead
+// ones, and degrading to in-process execution when everyone is down. The
+// artifact written is byte-identical to a server-side sweep of the same
+// grid.
+func clientSweep(peers string, cfg core.RunConfig, ths []float64, wins []int64, out string) error {
+	members, err := federation.ParseMembers(peers)
+	if err != nil {
+		return err
+	}
+	pool, err := federation.New(federation.Options{Members: members})
+	if err != nil {
+		return err
+	}
+	results, sweepErr := pool.Sweep(context.Background(), cfg, ths, wins, nil)
+	if results == nil {
+		return sweepErr
+	}
+	if sweepErr != nil {
+		fmt.Fprintf(os.Stderr, "dvsctl: %v\n", sweepErr)
+	}
+	raw, err := json.Marshal(jobs.NewSweepArtifact(results))
+	if err != nil {
+		return err
+	}
+	if out == "" || out == "-" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dvsctl: wrote %s (%d bytes)\n", out, len(raw))
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -572,6 +572,36 @@ type Point struct {
 	WindowCycles  int64
 }
 
+// TDVSGrid expands sweep axes into design points in the canonical
+// threshold-major order. Every sweep path — local SweepTDVS, the job
+// queue, a federated coordinator sharding points across nodes — expands
+// through this one function, so point order (and thus artifact layout) is
+// identical everywhere.
+func TDVSGrid(thresholds []float64, windows []int64) []Point {
+	points := make([]Point, 0, len(thresholds)*len(windows))
+	for _, th := range thresholds {
+		for _, w := range windows {
+			points = append(points, Point{ThresholdMbps: th, WindowCycles: w})
+		}
+	}
+	return points
+}
+
+// TDVSPointConfig derives the exact config SweepTDVS runs for one grid
+// point. Federated sweeps build per-point configs through this same
+// function, which is what makes a remote point's run key — and therefore
+// its cache entry and result — identical to the local sweep's.
+func TDVSPointConfig(base RunConfig, pt Point) RunConfig {
+	cfg := base
+	cfg.Policy = PolicyConfig{
+		Kind:             TDVS,
+		TopThresholdMbps: pt.ThresholdMbps,
+		WindowCycles:     pt.WindowCycles,
+		Hysteresis:       base.Policy.Hysteresis,
+	}
+	return cfg
+}
+
 // SweepResult pairs a design point with its run outcome. Exactly one of
 // Result and Err is set: a point whose run fails (after one retry) carries
 // its error here instead of aborting the whole sweep.
@@ -579,19 +609,27 @@ type SweepResult struct {
 	Point  Point
 	Result *RunResult
 	Err    error
+	// Retries counts execution attempts beyond the first this point needed
+	// (the local engine retries once; a federated sweep may also steal the
+	// point to another node). Scheduling bookkeeping, not content: it never
+	// serializes into sweep artifacts, which must stay byte-identical
+	// however many attempts a point took.
+	Retries int
 }
 
-// runWithRetry executes a run and, on failure, tries exactly once more.
-// The retry absorbs transient failures (a watchdog firing on a loaded
-// machine); deterministic failures — injected panics, config errors —
-// fail both attempts, and the second error is returned. A canceled context
-// is never retried: the caller asked the work to stop.
-func runWithRetry(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+// runWithRetry executes a run and, on failure, tries exactly once more,
+// reporting how many extra attempts were spent. The retry absorbs transient
+// failures (a watchdog firing on a loaded machine); deterministic failures —
+// injected panics, config errors — fail both attempts, and the second error
+// is returned. A canceled context is never retried: the caller asked the
+// work to stop.
+func runWithRetry(ctx context.Context, cfg RunConfig) (*RunResult, int, error) {
 	res, err := RunContext(ctx, cfg)
 	if err == nil || ctx.Err() != nil {
-		return res, err
+		return res, 0, err
 	}
-	return RunContext(ctx, cfg)
+	res, err = RunContext(ctx, cfg)
+	return res, 1, err
 }
 
 // defaultParallelism resolves the convention shared by every parallel
@@ -629,12 +667,7 @@ func SweepTDVSContext(ctx context.Context, base RunConfig, thresholds []float64,
 		return nil, fmt.Errorf("core: empty sweep axes")
 	}
 	parallelism = defaultParallelism(parallelism)
-	var points []Point
-	for _, th := range thresholds {
-		for _, w := range windows {
-			points = append(points, Point{ThresholdMbps: th, WindowCycles: w})
-		}
-	}
+	points := TDVSGrid(thresholds, windows)
 	results := make([]SweepResult, len(points))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)
@@ -645,18 +678,11 @@ func SweepTDVSContext(ctx context.Context, base RunConfig, thresholds []float64,
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cfg := base
-			cfg.Policy = PolicyConfig{
-				Kind:             TDVS,
-				TopThresholdMbps: pt.ThresholdMbps,
-				WindowCycles:     pt.WindowCycles,
-				Hysteresis:       base.Policy.Hysteresis,
-			}
-			res, err := runWithRetry(ctx, cfg)
+			res, retries, err := runWithRetry(ctx, TDVSPointConfig(base, pt))
 			if err != nil {
-				results[i] = SweepResult{Point: pt, Err: fmt.Errorf("core: point %+v: %w", pt, err)}
+				results[i] = SweepResult{Point: pt, Err: fmt.Errorf("core: point %+v: %w", pt, err), Retries: retries}
 			} else {
-				results[i] = SweepResult{Point: pt, Result: res}
+				results[i] = SweepResult{Point: pt, Result: res, Retries: retries}
 			}
 			if onPoint != nil {
 				onPoint(results[i])

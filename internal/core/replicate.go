@@ -106,7 +106,7 @@ func Replicate(cfg RunConfig, seeds []int64, parallelism int) (*ReplicatedResult
 			defer func() { <-sem }()
 			c := cfg
 			c.Traffic.Seed = seed
-			out.Runs[i], errs[i] = runWithRetry(context.Background(), c)
+			out.Runs[i], _, errs[i] = runWithRetry(context.Background(), c)
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,298 @@
+package fault
+
+// Network fault injection, the HTTP sibling of the simulator fault plans.
+// A NetPlan is a serializable schedule of transport-level faults — dropped
+// connections, injected latency, 503 backpressure, connection resets —
+// applied by wrapping an http.RoundTripper. Plans follow the same
+// determinism contract as Plan: hand-written or generated from a seed via
+// GenerateNetPlan, and the same spec always yields the same plan.
+//
+// Matching is positional rather than temporal: each entry carries a
+// Skip/Count window over the requests it matches, so "fail the 3rd and 4th
+// status poll to node n2" is expressible and exactly reproducible, which
+// is what federation resilience tests need. The first entry that fires
+// wins; at most one fault applies per request.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NetOp names one transport-level fault mechanism.
+type NetOp string
+
+// The network fault operations.
+const (
+	// OpDrop fails the request before it is sent, as if the connection
+	// could never be established. Surfaces as a transient *url.Error.
+	OpDrop NetOp = "drop"
+	// OpDelay sleeps DelayMs before forwarding the request unchanged.
+	OpDelay NetOp = "delay"
+	// OpHTTP503 short-circuits with a 503 Service Unavailable response,
+	// carrying a Retry-After header when RetryAfterSec is positive.
+	OpHTTP503 NetOp = "http503"
+	// OpReset forwards nothing and fails as if the peer reset the
+	// connection mid-exchange. Surfaces as a transient *url.Error.
+	OpReset NetOp = "reset"
+)
+
+// Valid reports whether op names a known network fault operation.
+func (op NetOp) Valid() bool {
+	switch op {
+	case OpDrop, OpDelay, OpHTTP503, OpReset:
+		return true
+	}
+	return false
+}
+
+// NetFault is one scheduled network fault. The Host/PathPrefix/Method
+// fields select requests (empty = any); Skip and Count bound which of the
+// matching requests actually fault.
+type NetFault struct {
+	Op NetOp
+	// Host restricts the fault to requests whose URL host equals it
+	// (host:port form, as in req.URL.Host). Empty matches every host.
+	Host string `json:",omitempty"`
+	// PathPrefix restricts the fault to URL paths with this prefix.
+	PathPrefix string `json:",omitempty"`
+	// Method restricts the fault to one HTTP method. Empty matches all.
+	Method string `json:",omitempty"`
+	// Skip lets the first Skip matching requests through unfaulted.
+	Skip int64 `json:",omitempty"`
+	// Count faults at most Count matching requests after the skip window;
+	// 0 means every matching request from Skip on.
+	Count int64 `json:",omitempty"`
+	// DelayMs is the injected latency for OpDelay, in milliseconds.
+	DelayMs int64 `json:",omitempty"`
+	// RetryAfterSec, when positive, sets the Retry-After header on
+	// OpHTTP503 responses.
+	RetryAfterSec int64 `json:",omitempty"`
+}
+
+func (f NetFault) validate() error {
+	if !f.Op.Valid() {
+		return fmt.Errorf("fault: unknown net op %q", f.Op)
+	}
+	if f.Skip < 0 || f.Count < 0 {
+		return fmt.Errorf("fault: %s: negative skip/count window (%d, %d)", f.Op, f.Skip, f.Count)
+	}
+	if f.Op == OpDelay && f.DelayMs <= 0 {
+		return fmt.Errorf("fault: delay needs a positive DelayMs, got %d", f.DelayMs)
+	}
+	if f.RetryAfterSec < 0 {
+		return fmt.Errorf("fault: %s: negative RetryAfterSec %d", f.Op, f.RetryAfterSec)
+	}
+	return nil
+}
+
+// matches reports whether the request is selected by the entry's
+// host/path/method filters, ignoring the Skip/Count window.
+func (f NetFault) matches(req *http.Request) bool {
+	if f.Host != "" && req.URL.Host != f.Host {
+		return false
+	}
+	if f.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, f.PathPrefix) {
+		return false
+	}
+	if f.Method != "" && req.Method != f.Method {
+		return false
+	}
+	return true
+}
+
+// NetPlan is a complete, serializable network fault schedule. The zero
+// NetPlan (or a nil *NetPlan) injects nothing.
+type NetPlan struct {
+	// Seed is the RNG seed the plan was generated from (0 for a
+	// hand-written plan), recorded for provenance only.
+	Seed int64 `json:",omitempty"`
+	// Intensity echoes the GenerateNetPlan intensity, for provenance.
+	Intensity float64 `json:",omitempty"`
+	// Faults is the schedule; the first firing entry wins per request.
+	Faults []NetFault
+}
+
+// Validate rejects malformed plans.
+func (p *NetPlan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("fault: net plan entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NetSpec parameterizes GenerateNetPlan.
+type NetSpec struct {
+	// Seed drives the fault RNG stream.
+	Seed int64
+	// Intensity in [0, 1] scales fault count and severity; 0 generates
+	// the empty plan.
+	Intensity float64
+	// Hosts are the peer addresses (host:port) faults may target; each
+	// generated entry targets one of them.
+	Hosts []string
+}
+
+// GenerateNetPlan derives a deterministic network fault schedule: the same
+// NetSpec always yields the same NetPlan. Generated entries use bounded
+// Count windows so a faulted cluster always heals — sustained outages are
+// written by hand, never drawn from a seed.
+func GenerateNetPlan(sp NetSpec) (NetPlan, error) {
+	if sp.Intensity < 0 || sp.Intensity > 1 {
+		return NetPlan{}, fmt.Errorf("fault: intensity %v outside [0, 1]", sp.Intensity)
+	}
+	if len(sp.Hosts) == 0 {
+		return NetPlan{}, fmt.Errorf("fault: net plan needs at least one target host")
+	}
+	p := NetPlan{Seed: sp.Seed, Intensity: sp.Intensity}
+	if sp.Intensity == 0 {
+		return p, nil
+	}
+	ops := []NetOp{OpDrop, OpDelay, OpHTTP503, OpReset}
+	r := rand.New(rand.NewSource(sp.Seed))
+	n := 1 + int(sp.Intensity*float64(2*len(ops)-1))
+	for i := 0; i < n; i++ {
+		// Fixed draw order regardless of op, so the stream consumed per
+		// entry is constant and plans stay stable under op-specific edits.
+		op := ops[r.Intn(len(ops))]
+		host := sp.Hosts[r.Intn(len(sp.Hosts))]
+		skip := int64(r.Intn(4))
+		count := 1 + int64(r.Intn(1+int(3*sp.Intensity)))
+		sevDraw := r.Float64()
+
+		f := NetFault{Op: op, Host: host, Skip: skip, Count: count}
+		switch op {
+		case OpDelay:
+			f.DelayMs = 1 + int64(sevDraw*200*sp.Intensity)
+		case OpHTTP503:
+			if sevDraw < 0.5 {
+				f.RetryAfterSec = 1
+			}
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+// NetError is the transient transport error surfaced by OpDrop and
+// OpReset. http.Client wraps it in *url.Error like any dial failure, so
+// clients exercise exactly the retry path a real outage triggers.
+type NetError struct {
+	Op   NetOp
+	Host string
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("fault: injected %s on %s", e.Op, e.Host)
+}
+
+// Timeout marks the error transient for retry heuristics.
+func (e *NetError) Timeout() bool { return true }
+
+// Temporary marks the error transient (legacy net.Error surface).
+func (e *NetError) Temporary() bool { return true }
+
+// Transport applies a NetPlan to an http.RoundTripper. Each plan entry
+// carries an atomic match counter, so one Transport is safe for concurrent
+// use and the Skip/Count windows are exact even under parallel requests.
+type Transport struct {
+	next    http.RoundTripper
+	faults  []NetFault
+	matched []atomic.Int64 // requests matched per entry, including skipped
+	fired   []atomic.Int64 // faults actually injected per entry
+}
+
+// NewTransport wraps next with the plan's fault schedule. A nil next uses
+// http.DefaultTransport; a nil or empty plan passes everything through.
+func NewTransport(plan *NetPlan, next http.RoundTripper) (*Transport, error) {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	t := &Transport{next: next}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
+		t.faults = append([]NetFault(nil), plan.Faults...)
+		t.matched = make([]atomic.Int64, len(t.faults))
+		t.fired = make([]atomic.Int64, len(t.faults))
+	}
+	return t, nil
+}
+
+// Fired returns how many faults entry i has injected so far.
+func (t *Transport) Fired(i int) int64 { return t.fired[i].Load() }
+
+// TotalFired returns the total faults injected across all entries.
+func (t *Transport) TotalFired() int64 {
+	var n int64
+	for i := range t.fired {
+		n += t.fired[i].Load()
+	}
+	return n
+}
+
+// RoundTrip implements http.RoundTripper. The first entry whose filters
+// match and whose Skip/Count window admits the request fires; later
+// entries never see it.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	for i := range t.faults {
+		f := t.faults[i]
+		if !f.matches(req) {
+			continue
+		}
+		n := t.matched[i].Add(1)
+		if n <= f.Skip {
+			break // in this entry's skip window; first match wins
+		}
+		if f.Count > 0 && n > f.Skip+f.Count {
+			continue // window exhausted; later entries may still fire
+		}
+		t.fired[i].Add(1)
+		switch f.Op {
+		case OpDrop, OpReset:
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, &NetError{Op: f.Op, Host: req.URL.Host}
+		case OpDelay:
+			timer := time.NewTimer(time.Duration(f.DelayMs) * time.Millisecond)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				if req.Body != nil {
+					req.Body.Close()
+				}
+				return nil, req.Context().Err()
+			}
+		case OpHTTP503:
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			resp := &http.Response{
+				StatusCode: http.StatusServiceUnavailable,
+				Status:     "503 Service Unavailable",
+				Proto:      "HTTP/1.1",
+				ProtoMajor: 1,
+				ProtoMinor: 1,
+				Header:     make(http.Header),
+				Body:       io.NopCloser(strings.NewReader("fault: injected 503\n")),
+				Request:    req,
+			}
+			if f.RetryAfterSec > 0 {
+				resp.Header.Set("Retry-After", strconv.FormatInt(f.RetryAfterSec, 10))
+			}
+			return resp, nil
+		}
+		break
+	}
+	return t.next.RoundTrip(req)
+}

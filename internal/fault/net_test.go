@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGenerateNetPlanDeterminism(t *testing.T) {
+	sp := NetSpec{Seed: 42, Intensity: 0.7, Hosts: []string{"n1:7070", "n2:7071"}}
+	a, err := GenerateNetPlan(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateNetPlan(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if string(ab) != string(bb) {
+		t.Fatalf("same spec, different plans:\n%s\n%s", ab, bb)
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("intensity 0.7 generated an empty plan")
+	}
+	for i, f := range a.Faults {
+		if err := f.validate(); err != nil {
+			t.Errorf("generated entry %d invalid: %v", i, err)
+		}
+		if f.Count == 0 {
+			t.Errorf("generated entry %d has an unbounded Count window", i)
+		}
+	}
+
+	c, err := GenerateNetPlan(NetSpec{Seed: 43, Intensity: 0.7, Hosts: sp.Hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := json.Marshal(c)
+	if string(cb) == string(ab) {
+		t.Error("different seeds produced identical plans")
+	}
+
+	empty, err := GenerateNetPlan(NetSpec{Seed: 42, Intensity: 0, Hosts: sp.Hosts})
+	if err != nil || len(empty.Faults) != 0 {
+		t.Fatalf("intensity 0 = (%v, %v), want empty plan", empty.Faults, err)
+	}
+}
+
+func TestNetPlanValidate(t *testing.T) {
+	bad := []NetPlan{
+		{Faults: []NetFault{{Op: "bogus"}}},
+		{Faults: []NetFault{{Op: OpDelay}}},          // delay without DelayMs
+		{Faults: []NetFault{{Op: OpDrop, Skip: -1}}}, // negative window
+		{Faults: []NetFault{{Op: OpHTTP503, RetryAfterSec: -2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated, want error", i)
+		}
+	}
+	good := NetPlan{Faults: []NetFault{
+		{Op: OpDrop, Host: "n1:7070", Skip: 2, Count: 1},
+		{Op: OpDelay, DelayMs: 5},
+		{Op: OpHTTP503, RetryAfterSec: 1},
+		{Op: OpReset, PathPrefix: "/v1/runs", Method: http.MethodPost},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+// TestTransportWindows pins the Skip/Count semantics: with Skip=1 Count=2
+// the second and third matching requests fault, everything else reaches
+// the server.
+func TestTransportWindows(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+	}))
+	defer srv.Close()
+
+	plan := &NetPlan{Faults: []NetFault{{Op: OpDrop, Skip: 1, Count: 2}}}
+	tr, err := NewTransport(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+
+	var failures int
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			failures++
+			var ue *url.Error
+			if !errors.As(err, &ue) {
+				t.Fatalf("request %d: error %T is not *url.Error", i, err)
+			}
+			var ne *NetError
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				t.Fatalf("request %d: %v does not unwrap to a transient NetError", i, err)
+			}
+			continue
+		}
+		resp.Body.Close()
+	}
+	if failures != 2 {
+		t.Fatalf("got %d injected failures, want 2 (skip 1, count 2)", failures)
+	}
+	if got := served.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	if tr.Fired(0) != 2 || tr.TotalFired() != 2 {
+		t.Fatalf("Fired(0)=%d TotalFired=%d, want 2/2", tr.Fired(0), tr.TotalFired())
+	}
+}
+
+// TestTransportMatchFilters checks host/path/method selection: a fault
+// scoped to POST /v1/runs must not touch GETs or other paths.
+func TestTransportMatchFilters(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	host := srv.Listener.Addr().String()
+
+	plan := &NetPlan{Faults: []NetFault{
+		{Op: OpReset, Host: host, PathPrefix: "/v1/runs", Method: http.MethodPost},
+	}}
+	tr, err := NewTransport(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+
+	if resp, err := client.Get(srv.URL + "/v1/runs"); err != nil {
+		t.Fatalf("GET should pass the method filter: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", nil); err != nil {
+		t.Fatalf("POST /v1/jobs should pass the path filter: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := client.Post(srv.URL+"/v1/runs", "application/json", nil); err == nil {
+		t.Fatal("POST /v1/runs should fault")
+	}
+	if tr.TotalFired() != 1 {
+		t.Fatalf("TotalFired = %d, want 1", tr.TotalFired())
+	}
+}
+
+// TestTransport503 checks the injected backpressure response and its
+// Retry-After header, without the request ever reaching the server.
+func TestTransport503(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("injected 503 must not reach the server")
+	}))
+	defer srv.Close()
+
+	plan := &NetPlan{Faults: []NetFault{{Op: OpHTTP503, Count: 1, RetryAfterSec: 2}}}
+	tr, err := NewTransport(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q, want 2", got)
+	}
+}
+
+// TestTransportConcurrentWindows runs parallel requests through a bounded
+// window and checks the atomic counters stay exact: with Count=3 exactly
+// three of the ten concurrent requests fault. Run under -race this also
+// proves the Transport is safe for concurrent use.
+func TestTransportConcurrentWindows(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	plan := &NetPlan{Faults: []NetFault{{Op: OpDrop, Count: 3}}}
+	tr, err := NewTransport(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 3 {
+		t.Fatalf("%d concurrent failures, want exactly 3", failures.Load())
+	}
+	if tr.Fired(0) != 3 {
+		t.Fatalf("Fired(0) = %d, want 3", tr.Fired(0))
+	}
+}
+
+// TestNetErrorIsNetError pins that NetError satisfies net.Error, so retry
+// heuristics keyed on the standard interface classify it as transient.
+func TestNetErrorIsNetError(t *testing.T) {
+	var e net.Error = &NetError{Op: OpDrop, Host: "n1:7070"}
+	if !e.Timeout() {
+		t.Fatal("NetError.Timeout() = false, want transient")
+	}
+}

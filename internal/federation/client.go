@@ -1,0 +1,227 @@
+package federation
+
+// Client is the retrying HTTP half of the fabric: every remote call gets
+// a deadline (the caller's context), capped exponential backoff with
+// deterministic jitter, and a bounded retry budget. It is shared by the
+// pool's sweep scheduler and by dvsctl, so the client-facing tool and the
+// server-side coordinator retry identically.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ErrDraining reports a 503 without a Retry-After header — the dvsd drain
+// signal. The node is shutting down deliberately; retrying it is wasted
+// work, so the client returns immediately and the caller reroutes.
+var ErrDraining = errors.New("federation: node is draining")
+
+// StatusError is a non-2xx answer that is not retryable backpressure: the
+// server spoke, and what it said was no.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("federation: http %d: %s", e.Code, e.Msg)
+}
+
+// Client issues JSON requests against one node with retries. The zero
+// value is not usable; set Base at minimum.
+type Client struct {
+	// Base is the node's URL prefix, e.g. "http://127.0.0.1:7070".
+	Base string
+	// HTTP is the underlying transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Budget is the total attempts one call may spend (first try
+	// included). Zero means 3.
+	Budget int
+	// BaseDelay seeds the exponential backoff. Zero means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff step and any Retry-After honor. Zero
+	// means 2s.
+	MaxDelay time.Duration
+	// Header is added to every request (e.g. X-Request-ID).
+	Header http.Header
+	// OnRetry, when non-nil, is called once per retry (attempt 2 on).
+	OnRetry func()
+}
+
+// retryable classifies a transport error: everything transient retries,
+// but a canceled or deadline-expired context means the caller (or the
+// straggler budget) asked the call to stop.
+func retryable(ctx context.Context, err error) bool {
+	return ctx.Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoff computes the delay before attempt n (1-based: the delay after
+// the n-th failure), exponential from BaseDelay and capped at MaxDelay,
+// with ±50% deterministic jitter drawn from a hash of the call identity —
+// no RNG, so retry schedules are reproducible and lint-clean, yet two
+// clients hammering one node still spread out.
+func (c *Client) backoff(path string, attempt int) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Jitter in [0.5, 1.0]× the step.
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d", c.Base, path, attempt)))
+	frac := float64(binary.BigEndian.Uint32(sum[:4])) / float64(math.MaxUint32)
+	return time.Duration(float64(d) * (0.5 + 0.5*frac))
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// DoJSON issues one JSON request with the client's retry policy and
+// decodes a 2xx answer into out (when non-nil). The returned status is
+// the final HTTP status (0 when no attempt got an answer).
+//
+// Retry policy, per attempt:
+//   - transport error: retry with backoff while budget and context allow;
+//   - 503 with Retry-After: honor the header (capped at MaxDelay), retry;
+//   - 503 without Retry-After: return ErrDraining immediately;
+//   - any other status: final — 2xx decodes, the rest becomes a
+//     *StatusError carrying the server's error message.
+func (c *Client) DoJSON(ctx context.Context, method, path string, body, out any) (int, error) {
+	budget := c.Budget
+	if budget <= 0 {
+		budget = 3
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var payload []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("federation: encode %s %s: %w", method, path, err)
+		}
+		payload = b
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return 0, fmt.Errorf("federation: %s %s: %w", method, path, err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, vs := range c.Header {
+			req.Header[k] = vs
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			lastErr = err
+			if !retryable(ctx, err) || attempt >= budget {
+				return 0, fmt.Errorf("federation: %s %s%s: %w", method, c.Base, path, err)
+			}
+			if c.OnRetry != nil {
+				c.OnRetry()
+			}
+			if serr := sleepCtx(ctx, c.backoff(path, attempt)); serr != nil {
+				return 0, fmt.Errorf("federation: %s %s%s: %w", method, c.Base, path, lastErr)
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			ra := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ra == "" {
+				return resp.StatusCode, ErrDraining
+			}
+			if attempt >= budget {
+				return resp.StatusCode, &StatusError{Code: resp.StatusCode, Msg: "service unavailable after " + strconv.Itoa(attempt) + " attempts"}
+			}
+			if c.OnRetry != nil {
+				c.OnRetry()
+			}
+			if serr := sleepCtx(ctx, c.retryAfterDelay(ra)); serr != nil {
+				return resp.StatusCode, serr
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			msg := resp.Status
+			if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, &StatusError{Code: resp.StatusCode, Msg: msg}
+		}
+		switch dst := out.(type) {
+		case nil:
+			io.Copy(io.Discard, resp.Body)
+		case *[]byte:
+			// Raw mode, for non-JSON bodies (metrics) and passthrough
+			// downloads that must stay byte-exact.
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return resp.StatusCode, fmt.Errorf("federation: read %s %s: %w", method, path, err)
+			}
+			*dst = raw
+		default:
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, fmt.Errorf("federation: decode %s %s: %w", method, path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	}
+}
+
+// retryAfterDelay parses a Retry-After value in seconds, capped at
+// MaxDelay. Unparseable values fall back to one MaxDelay step.
+func (c *Client) retryAfterDelay(ra string) time.Duration {
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 0 {
+		return max
+	}
+	d := time.Duration(sec) * time.Second
+	if d > max {
+		return max
+	}
+	return d
+}

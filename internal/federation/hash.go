@@ -1,0 +1,55 @@
+package federation
+
+// Rendezvous (highest-random-weight) hashing assigns each sweep point to a
+// node by hashing its content-addressed run key against every member name
+// and ranking. Any coordinator with the same member list computes the same
+// ranking with no coordination, and when a node dies only its own points
+// move — each re-lands on its next-ranked survivor instead of the whole
+// assignment reshuffling (the property that keeps peer caches warm across
+// failures).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// score is the rendezvous weight of (key, member). The first eight bytes
+// of a SHA-256 give uniform, stable weights; the separator keeps
+// (key="a", name="bc") distinct from (key="ab", name="c").
+func score(key, name string) uint64 {
+	sum := sha256.Sum256([]byte(key + "|" + name))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// rank orders members by descending rendezvous score for key. Ties (which
+// need a hash collision) break by name for full determinism.
+func rank(key string, members []Member) []Member {
+	out := append([]Member(nil), members...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(key, out[i].Name), score(key, out[j].Name)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// candidates returns the members that should be offered key, in try
+// order: the rendezvous ranking stably partitioned so Up members come
+// first, then Suspect, then Draining and Down (which are only reached
+// when everything healthier has been exhausted — the caller's last
+// resorts before local fallback).
+func (p *Pool) candidates(key string) []Member {
+	ranked := rank(key, p.members)
+	out := make([]Member, 0, len(ranked))
+	for _, want := range []State{StateUp, StateSuspect, StateDraining, StateDown} {
+		for _, m := range ranked {
+			if st, _ := p.MemberState(m.Name); st == want {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+// Package federation shards TDVS sweeps across a static cluster of dvsd
+// nodes, with failure as the default case. Points are assigned by
+// rendezvous hashing on their content-addressed run keys, so any
+// coordinator computes the same assignment without coordination; each
+// node's run cache is consulted before simulating; and a node that dies,
+// drains or straggles mid-sweep has its points transparently stolen by the
+// survivors. When every peer is down the pool degrades to single-node
+// local execution — a cluster of one is the failure floor, not an error.
+//
+// The fabric is deliberately coordination-free: no consensus, no
+// membership gossip, no shared state beyond each node's ordinary HTTP API
+// (POST /v1/runs, GET /v1/jobs/{id}, GET /v1/cache/{key}, GET /healthz).
+// Determinism does the coordinating — identical configs produce identical
+// run keys everywhere, so work lands on the same nodes and duplicate
+// submissions dedup server-side — and the artifact a federated sweep
+// produces is byte-identical to a single-node run of the same grid.
+package federation
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"nepdvs/internal/obs"
+)
+
+// State is a member's health, as judged by this pool from probe and
+// request outcomes. The numeric values are published as the member's
+// fed_node_state gauge, ordered so that "bigger is healthier".
+type State int32
+
+// The health states.
+const (
+	// StateDown members failed FailThreshold consecutive calls; they get
+	// no new work until a probe revives them.
+	StateDown State = 0
+	// StateSuspect members failed their last call; they rank behind every
+	// Up member but still receive work when no Up member can take it.
+	StateSuspect State = 1
+	// StateDraining members answered 503 without a Retry-After — the
+	// dvsd drain signal. They finish what they have; no new work.
+	StateDraining State = 2
+	// StateUp members answered their last probe or request.
+	StateUp State = 3
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateSuspect:
+		return "suspect"
+	case StateDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// Member names one node of the cluster. The zero URL marks the local
+// member: its points execute in-process instead of over HTTP, so a
+// single binary can be both coordinator and worker.
+type Member struct {
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"`
+}
+
+// Local reports whether the member executes in-process.
+func (m Member) Local() bool { return m.URL == "" }
+
+// ParseMembers parses a comma-separated member list. Each entry is either
+// "name=url" or a bare URL (the name defaults to the host:port); the URL
+// "local" (or an entry that is just "local") declares the in-process
+// member. Names must be unique.
+func ParseMembers(s string) ([]Member, error) {
+	var out []Member
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var m Member
+		named := false
+		if name, url, ok := strings.Cut(entry, "="); ok {
+			m = Member{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)}
+			named = true
+		} else {
+			m = Member{Name: entry, URL: entry}
+		}
+		if m.URL == "local" {
+			m.URL = ""
+		}
+		if m.URL != "" {
+			m.URL = strings.TrimSuffix(m.URL, "/")
+			if !strings.Contains(m.URL, "://") {
+				m.URL = "http://" + m.URL
+			}
+			if !named {
+				// Bare-URL entry: name by authority, not scheme.
+				m.Name = m.URL[strings.Index(m.URL, "://")+3:]
+			}
+		}
+		if m.Name == "" {
+			return nil, fmt.Errorf("federation: member entry %q has no name", entry)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("federation: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("federation: empty member list")
+	}
+	return out, nil
+}
+
+// health is one member's mutable tracking state.
+type health struct {
+	mu          sync.Mutex
+	state       State
+	consecFails int
+	gauge       *obs.Gauge
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Members is the static cluster. At most one may be local (empty URL).
+	Members []Member
+	// HTTP is the transport for peer calls; nil uses http.DefaultClient.
+	// Tests inject fault.NewTransport here.
+	HTTP *http.Client
+	// Registry, when non-nil, receives the federation metrics: one
+	// fed_node_state_<name> gauge per member plus fed_retries_total,
+	// fed_steals_total and fed_cache_hits_total counters.
+	Registry *obs.Registry
+	// Logger receives one structured record per state transition and
+	// steal. Nil means silent.
+	Logger *slog.Logger
+	// FailThreshold is how many consecutive failures demote a member from
+	// Suspect to Down. Zero means 3.
+	FailThreshold int
+	// RequestTimeout bounds each individual peer HTTP call (submit,
+	// status, fetch). Zero means 10s.
+	RequestTimeout time.Duration
+	// PointTimeout is the straggler budget: how long one point may sit on
+	// one node (queue wait + simulation) before being stolen. Zero means
+	// 2 minutes.
+	PointTimeout time.Duration
+	// RetryBudget is how many attempts each peer HTTP call may spend
+	// (transport retries with backoff). Zero means 3.
+	RetryBudget int
+	// Parallelism bounds concurrent in-flight points during a federated
+	// sweep. Zero means 2 × cluster size.
+	Parallelism int
+	// PollInterval is how often a remote job's status is polled. Zero
+	// means 50ms.
+	PollInterval time.Duration
+}
+
+// Pool is the federation fabric: a static member list, per-member health,
+// and the sweep scheduler. Create with New; safe for concurrent use.
+type Pool struct {
+	members []Member
+	health  map[string]*health
+	http    *http.Client
+	log     *slog.Logger
+
+	failThreshold  int
+	requestTimeout time.Duration
+	pointTimeout   time.Duration
+	retryBudget    int
+	parallelism    int
+	pollInterval   time.Duration
+
+	retries   *obs.Counter
+	steals    *obs.Counter
+	cacheHits *obs.Counter
+}
+
+// New validates the member list and builds the pool. All members start
+// Up; the first failed call demotes.
+func New(opts Options) (*Pool, error) {
+	if len(opts.Members) == 0 {
+		return nil, fmt.Errorf("federation: no members")
+	}
+	p := &Pool{
+		members:        append([]Member(nil), opts.Members...),
+		health:         make(map[string]*health, len(opts.Members)),
+		http:           opts.HTTP,
+		log:            opts.Logger,
+		failThreshold:  opts.FailThreshold,
+		requestTimeout: opts.RequestTimeout,
+		pointTimeout:   opts.PointTimeout,
+		retryBudget:    opts.RetryBudget,
+		parallelism:    opts.Parallelism,
+		pollInterval:   opts.PollInterval,
+	}
+	if p.http == nil {
+		p.http = http.DefaultClient
+	}
+	if p.log == nil {
+		p.log = slog.New(discardHandler{})
+	}
+	if p.failThreshold <= 0 {
+		p.failThreshold = 3
+	}
+	if p.requestTimeout <= 0 {
+		p.requestTimeout = 10 * time.Second
+	}
+	if p.pointTimeout <= 0 {
+		p.pointTimeout = 2 * time.Minute
+	}
+	if p.retryBudget <= 0 {
+		p.retryBudget = 3
+	}
+	if p.parallelism <= 0 {
+		p.parallelism = 2 * len(p.members)
+	}
+	if p.pollInterval <= 0 {
+		p.pollInterval = 50 * time.Millisecond
+	}
+	locals := 0
+	seen := make(map[string]bool, len(p.members))
+	for _, m := range p.members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("federation: member with empty name")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("federation: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Local() {
+			locals++
+		}
+		h := &health{state: StateUp}
+		if opts.Registry != nil {
+			h.gauge = opts.Registry.Gauge("fed_node_state_" + sanitizeMetricName(m.Name))
+			h.gauge.Set(float64(StateUp))
+		}
+		p.health[m.Name] = h
+	}
+	if locals > 1 {
+		return nil, fmt.Errorf("federation: %d local members, want at most one", locals)
+	}
+	if opts.Registry != nil {
+		p.retries = opts.Registry.Counter("fed_retries_total")
+		p.steals = opts.Registry.Counter("fed_steals_total")
+		p.cacheHits = opts.Registry.Counter("fed_cache_hits_total")
+	}
+	return p, nil
+}
+
+// Members returns the static member list (a copy).
+func (p *Pool) Members() []Member { return append([]Member(nil), p.members...) }
+
+// MemberState returns the pool's current judgment of one member.
+func (p *Pool) MemberState(name string) (State, bool) {
+	h, ok := p.health[name]
+	if !ok {
+		return StateDown, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, true
+}
+
+// setState transitions one member, publishing the gauge and logging the
+// edge. Returns the previous state.
+func (p *Pool) setState(m Member, to State) State {
+	h := p.health[m.Name]
+	h.mu.Lock()
+	from := h.state
+	h.state = to
+	if to == StateUp {
+		h.consecFails = 0
+	}
+	if h.gauge != nil {
+		h.gauge.Set(float64(to))
+	}
+	h.mu.Unlock()
+	if from != to {
+		p.log.Info("member state", "member", m.Name, "from", from.String(), "to", to.String())
+	}
+	return from
+}
+
+// observeSuccess records a successful call to m: whatever the history, the
+// member is Up.
+func (p *Pool) observeSuccess(m Member) { p.setState(m, StateUp) }
+
+// observeFailure records a failed call (transport error or timeout):
+// Suspect at first, Down after failThreshold consecutive failures. A
+// draining member stays draining — drain is a stronger, deliberate signal.
+func (p *Pool) observeFailure(m Member) {
+	h := p.health[m.Name]
+	h.mu.Lock()
+	if h.state == StateDraining {
+		h.mu.Unlock()
+		return
+	}
+	h.consecFails++
+	to := StateSuspect
+	if h.consecFails >= p.failThreshold {
+		to = StateDown
+	}
+	from := h.state
+	h.state = to
+	if h.gauge != nil {
+		h.gauge.Set(float64(to))
+	}
+	h.mu.Unlock()
+	if from != to {
+		p.log.Info("member state", "member", m.Name, "from", from.String(), "to", to.String())
+	}
+}
+
+// observeDraining records the drain signal (503 without Retry-After).
+func (p *Pool) observeDraining(m Member) { p.setState(m, StateDraining) }
+
+// Probe checks every remote member's /healthz once, reviving Down and
+// Draining members that answer and demoting members that don't. The
+// local member needs no probing.
+func (p *Pool) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range p.members {
+		if m.Local() {
+			continue
+		}
+		wg.Add(1)
+		go func(m Member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, p.requestTimeout)
+			defer cancel()
+			c := p.client(m)
+			if _, err := c.DoJSON(cctx, http.MethodGet, "/healthz", nil, nil); err != nil {
+				p.observeFailure(m)
+				return
+			}
+			p.observeSuccess(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// Run probes the cluster every interval until ctx is done — the daemon's
+// background health loop. Interval zero means 2s.
+func (p *Pool) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for {
+		p.Probe(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// client builds the retrying HTTP client for one remote member.
+func (p *Pool) client(m Member) *Client {
+	return &Client{
+		Base:   m.URL,
+		HTTP:   p.http,
+		Budget: p.retryBudget,
+		OnRetry: func() {
+			if p.retries != nil {
+				p.retries.Inc()
+			}
+		},
+	}
+}
+
+// sanitizeMetricName maps a member name into the Prometheus metric-name
+// alphabet: anything outside [a-zA-Z0-9_] becomes '_'.
+func sanitizeMetricName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrived in
+// go 1.24; this module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

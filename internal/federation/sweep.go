@@ -1,0 +1,229 @@
+package federation
+
+// The federated sweep scheduler. Each grid point is content-addressed
+// (core.RunKey of its exact per-point config), ranked onto the cluster by
+// rendezvous hashing, and pushed through a per-point pipeline: consult
+// the assigned node's run cache, submit the run, poll with a straggler
+// budget, fetch the artifact. Any failure along the way steals the point
+// to the next-ranked survivor; when every member is exhausted the point
+// runs locally. The assembled results are in the same canonical
+// threshold-major order as core.SweepTDVS, so marshaling them through
+// jobs.NewSweepArtifact yields bytes identical to a single-node run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/jobs"
+	"nepdvs/internal/server"
+)
+
+// localRun executes one point in-process with the engine's retry-once
+// convention (mirroring core's sweep workers).
+func localRun(ctx context.Context, cfg core.RunConfig) (*core.RunResult, int, error) {
+	res, err := core.RunContext(ctx, cfg)
+	if err == nil || ctx.Err() != nil {
+		return res, 0, err
+	}
+	res, err = core.RunContext(ctx, cfg)
+	return res, 1, err
+}
+
+// Sweep runs the TDVS grid across the pool. Results come back in the
+// canonical threshold-major order with the same partial-failure contract
+// as core.SweepTDVS: a failed point records its error in its SweepResult,
+// the returned error summarizes the damage, and only when every point
+// fails is the slice nil. onPoint, when non-nil, observes each completed
+// point from scheduler goroutines.
+func (p *Pool) Sweep(ctx context.Context, base core.RunConfig, thresholds []float64, windows []int64, onPoint func(core.SweepResult)) ([]core.SweepResult, error) {
+	if len(thresholds) == 0 || len(windows) == 0 {
+		return nil, fmt.Errorf("federation: empty sweep axes")
+	}
+	points := core.TDVSGrid(thresholds, windows)
+	results := make([]core.SweepResult, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.parallelism)
+	for i, pt := range points {
+		i, pt := i, pt
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = p.runPoint(ctx, base, pt)
+			if onPoint != nil {
+				onPoint(results[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var failed int
+	var first error
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			if first == nil {
+				first = r.Err
+			}
+		}
+	}
+	switch {
+	case failed == len(results):
+		return nil, fmt.Errorf("federation: all %d sweep points failed (first: %w)", failed, first)
+	case failed > 0:
+		return results, fmt.Errorf("federation: %d of %d sweep points failed (first: %w)", failed, len(results), first)
+	}
+	return results, nil
+}
+
+// pointErr wraps a point's terminal error exactly as core's sweep workers
+// do, so failed points read identically in federated and local artifacts.
+func pointErr(pt core.Point, err error) error {
+	return fmt.Errorf("core: point %+v: %w", pt, err)
+}
+
+// runPoint drives one grid point through the fabric: candidates in
+// rendezvous order, steal on any non-terminal failure, local execution as
+// the floor.
+func (p *Pool) runPoint(ctx context.Context, base core.RunConfig, pt core.Point) core.SweepResult {
+	cfg := core.TDVSPointConfig(base, pt)
+	retries := 0
+	key, kerr := core.RunKey(cfg)
+	if kerr == nil {
+		for _, m := range p.candidates(key) {
+			if ctx.Err() != nil {
+				return core.SweepResult{Point: pt, Err: pointErr(pt, ctx.Err()), Retries: retries}
+			}
+			if m.Local() {
+				res, r, err := localRun(ctx, cfg)
+				retries += r
+				if err != nil {
+					return core.SweepResult{Point: pt, Err: pointErr(pt, err), Retries: retries}
+				}
+				return core.SweepResult{Point: pt, Result: res, Retries: retries}
+			}
+			res, terminal, err := p.runRemote(ctx, m, cfg, key)
+			if err == nil {
+				return core.SweepResult{Point: pt, Result: res, Retries: retries}
+			}
+			if terminal {
+				// The node is fine; the run itself failed. Stealing a
+				// deterministic failure just fails it again elsewhere.
+				return core.SweepResult{Point: pt, Err: pointErr(pt, err), Retries: retries}
+			}
+			retries++
+			if p.steals != nil {
+				p.steals.Inc()
+			}
+			p.log.Info("point stolen", "member", m.Name, "key", key[:12],
+				"threshold", pt.ThresholdMbps, "window", pt.WindowCycles, "err", err)
+		}
+	}
+	// Graceful degradation: no member could take the point (all down, all
+	// draining and failing, or the key itself would not derive). A cluster
+	// of one is the floor.
+	res, r, err := localRun(ctx, cfg)
+	retries += r
+	if err != nil {
+		return core.SweepResult{Point: pt, Err: pointErr(pt, err), Retries: retries}
+	}
+	return core.SweepResult{Point: pt, Result: res, Retries: retries}
+}
+
+// runRemote executes one point on one remote member. The terminal return
+// distinguishes "the run failed" (true: record the error, do not steal)
+// from "the node failed" (false: steal to the next candidate).
+func (p *Pool) runRemote(ctx context.Context, m Member, cfg core.RunConfig, key string) (res *core.RunResult, terminal bool, err error) {
+	c := p.client(m)
+
+	// 1. Peer cache: if the member already holds this exact run, no
+	// simulation happens anywhere.
+	var cached core.CachedRun
+	status, err := p.call(ctx, c, http.MethodGet, "/v1/cache/"+key, nil, &cached)
+	switch {
+	case err == nil && cached.Result != nil:
+		p.observeSuccess(m)
+		if p.cacheHits != nil {
+			p.cacheHits.Inc()
+		}
+		// The payload round-tripped through JSON and lost the
+		// non-serializable config fields; hand back the caller's own
+		// (mirroring core.RunContext's cache-hit path).
+		cached.Result.Config = cfg
+		return cached.Result, false, nil
+	case status == http.StatusNotFound:
+		// Plain miss; fall through to submission.
+	case err != nil:
+		return nil, false, p.fail(m, err)
+	}
+
+	// 2. Submit. Server-side singleflight dedup makes resubmission after a
+	// steal or a lost response idempotent: identical specs attach to the
+	// same job.
+	var sub server.SubmitResponse
+	if _, err := p.call(ctx, c, http.MethodPost, "/v1/runs", server.RunRequest{Config: cfg}, &sub); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code >= 400 && se.Code < 500 {
+			// The server rejected the spec itself; every node would.
+			return nil, true, err
+		}
+		return nil, false, p.fail(m, err)
+	}
+
+	// 3. Poll under the straggler budget.
+	pctx, cancel := context.WithTimeout(ctx, p.pointTimeout)
+	defer cancel()
+	for {
+		var st jobs.Status
+		if _, err := p.call(pctx, c, http.MethodGet, "/v1/jobs/"+sub.ID, nil, &st); err != nil {
+			return nil, false, p.fail(m, err)
+		}
+		switch st.State {
+		case jobs.StateDone:
+			var art jobs.RunArtifact
+			if _, err := p.call(pctx, c, http.MethodGet, "/v1/jobs/"+sub.ID+"/artifacts/result.json", nil, &art); err != nil {
+				return nil, false, p.fail(m, err)
+			}
+			if art.Result == nil {
+				return nil, false, p.fail(m, fmt.Errorf("federation: empty artifact from %s", m.Name))
+			}
+			p.observeSuccess(m)
+			art.Result.Config = cfg
+			return art.Result, false, nil
+		case jobs.StateFailed:
+			p.observeSuccess(m) // the node did its job; the run failed
+			return nil, true, errors.New(st.Err)
+		case jobs.StateCanceled:
+			return nil, false, fmt.Errorf("federation: job canceled on %s", m.Name)
+		}
+		if serr := sleepCtx(pctx, p.pollInterval); serr != nil {
+			// Straggler budget spent (or the sweep itself was canceled):
+			// steal. The abandoned job keeps running remotely; dedup means
+			// a re-submission elsewhere never doubles the work here.
+			return nil, false, p.fail(m, fmt.Errorf("federation: point stalled on %s: %w", m.Name, serr))
+		}
+	}
+}
+
+// call is one bounded peer request: the member call under the pool's
+// per-request timeout, within the caller's context.
+func (p *Pool) call(ctx context.Context, c *Client, method, path string, body, out any) (int, error) {
+	cctx, cancel := context.WithTimeout(ctx, p.requestTimeout)
+	defer cancel()
+	return c.DoJSON(cctx, method, path, body, out)
+}
+
+// fail records a member-level failure and passes the error through.
+// Draining is tracked as its own state — deliberate, not broken.
+func (p *Pool) fail(m Member, err error) error {
+	if errors.Is(err, ErrDraining) {
+		p.observeDraining(m)
+	} else {
+		p.observeFailure(m)
+	}
+	return err
+}

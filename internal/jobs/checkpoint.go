@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -12,12 +13,38 @@ import (
 // checkpointSchema versions the queue checkpoint file.
 const checkpointSchema = 1
 
+// ErrCheckpointCorrupt is the errors.Is target for every defect Restore can
+// find in an existing checkpoint file: truncation, bad JSON, a wrong
+// schema, or a spec that no longer validates. A missing file is NOT corrupt
+// (a fresh daemon has no checkpoint); only a file that exists but cannot be
+// trusted is.
+var ErrCheckpointCorrupt = errors.New("jobs: checkpoint corrupt")
+
+// CorruptCheckpointError carries the path and underlying defect of an
+// unusable checkpoint. It matches ErrCheckpointCorrupt under errors.Is, so
+// callers can branch on "corrupt file" without string matching.
+type CorruptCheckpointError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("jobs: restore %s: checkpoint corrupt: %v", e.Path, e.Err)
+}
+
+func (e *CorruptCheckpointError) Unwrap() error { return e.Err }
+
+// Is matches ErrCheckpointCorrupt, whatever the underlying defect.
+func (e *CorruptCheckpointError) Is(target error) bool { return target == ErrCheckpointCorrupt }
+
 // PersistedJob is one pending job as written to a checkpoint: its ID (so a
-// client polling across a daemon restart keeps a valid handle) and the full
-// spec.
+// client polling across a daemon restart keeps a valid handle), the full
+// spec, and the job's requeue count so far (a job that keeps bouncing
+// through drains stays visible as such across restarts).
 type PersistedJob struct {
-	ID   string `json:"id"`
-	Spec Spec   `json:"spec"`
+	ID       string `json:"id"`
+	Spec     Spec   `json:"spec"`
+	Requeues int    `json:"requeues,omitempty"`
 }
 
 type checkpointFile struct {
@@ -41,7 +68,7 @@ func (q *Queue) Checkpoint(path string) error {
 	})
 	cf := checkpointFile{Schema: checkpointSchema, Jobs: make([]PersistedJob, len(jobs))}
 	for i, j := range jobs {
-		cf.Jobs[i] = PersistedJob{ID: j.id, Spec: j.spec}
+		cf.Jobs[i] = PersistedJob{ID: j.id, Spec: j.spec, Requeues: j.requeues}
 	}
 	q.mu.Unlock()
 
@@ -53,10 +80,14 @@ func (q *Queue) Checkpoint(path string) error {
 }
 
 // Restore loads a checkpoint into the queue, preserving job IDs so clients
-// holding handles from before a restart still resolve. Jobs whose key
-// duplicates one already queued are skipped. Returns the number of jobs
-// restored. A missing file restores nothing and is not an error — a fresh
-// daemon has no checkpoint.
+// holding handles from before a restart still resolve. The load is all or
+// nothing: every job is parsed, validated and keyed before the first one is
+// inserted, so a truncated or corrupted file fails cleanly with a
+// CorruptCheckpointError (errors.Is ErrCheckpointCorrupt) and leaves the
+// queue exactly as it was — never half-loaded. Jobs whose key duplicates
+// one already queued are skipped. Returns the number of jobs restored. A
+// missing file restores nothing and is not an error — a fresh daemon has no
+// checkpoint.
 func (q *Queue) Restore(path string) (int, error) {
 	b, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -67,37 +98,43 @@ func (q *Queue) Restore(path string) (int, error) {
 	}
 	var cf checkpointFile
 	if err := json.Unmarshal(b, &cf); err != nil {
-		return 0, fmt.Errorf("jobs: restore %s: %w", path, err)
+		return 0, &CorruptCheckpointError{Path: path, Err: err}
 	}
 	if cf.Schema != checkpointSchema {
-		return 0, fmt.Errorf("jobs: restore %s: schema %d, want %d", path, cf.Schema, checkpointSchema)
+		return 0, &CorruptCheckpointError{Path: path, Err: fmt.Errorf("schema %d, want %d", cf.Schema, checkpointSchema)}
 	}
-	restored := 0
-	for _, pj := range cf.Jobs {
+	// Phase one: validate everything up front, touching no queue state.
+	keys := make([]string, len(cf.Jobs))
+	for i, pj := range cf.Jobs {
 		if err := pj.Spec.Validate(); err != nil {
-			return restored, fmt.Errorf("jobs: restore %s: job %s: %w", path, pj.ID, err)
+			return 0, &CorruptCheckpointError{Path: path, Err: fmt.Errorf("job %s: %w", pj.ID, err)}
 		}
 		key, err := pj.Spec.Key()
 		if err != nil {
-			return restored, fmt.Errorf("jobs: restore %s: job %s: %w", path, pj.ID, err)
+			return 0, &CorruptCheckpointError{Path: path, Err: fmt.Errorf("job %s: %w", pj.ID, err)}
 		}
-		q.mu.Lock()
-		if q.closed {
-			q.mu.Unlock()
-			return restored, ErrClosed
-		}
-		if _, dup := q.byKey[key]; dup {
-			q.mu.Unlock()
+		keys[i] = key
+	}
+	// Phase two: insert under one lock. Nothing below can fail.
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	restored := 0
+	for i, pj := range cf.Jobs {
+		if _, dup := q.byKey[keys[i]]; dup {
 			continue
 		}
+		var j *job
 		if _, taken := q.byID[pj.ID]; taken {
 			// An ID collision with a live job: mint a fresh ID rather than
 			// corrupt the index.
-			q.insertLocked("", key, pj.Spec)
+			j = q.insertLocked("", keys[i], pj.Spec)
 		} else {
-			q.insertLocked(pj.ID, key, pj.Spec)
+			j = q.insertLocked(pj.ID, keys[i], pj.Spec)
 		}
-		q.mu.Unlock()
+		j.requeues = pj.Requeues
 		restored++
 	}
 	return restored, nil

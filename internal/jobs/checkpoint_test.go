@@ -1,0 +1,172 @@
+package jobs
+
+// Checkpoint robustness: a truncated, garbled or otherwise corrupt
+// checkpoint must fail Restore with the typed corrupt error, restore zero
+// jobs, and leave the queue fully usable — never panic or half-load.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRestoreCorruptCheckpoint(t *testing.T) {
+	valid := checkpointFile{Schema: checkpointSchema, Jobs: []PersistedJob{
+		{ID: "j-000001", Spec: specN(1)},
+		{ID: "j-000002", Spec: specN(2)},
+	}}
+	validBytes, err := json.Marshal(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		bytes []byte
+	}{
+		{"truncated", validBytes[:len(validBytes)/2]},
+		{"garbage", []byte("not json at all {{{")},
+		{"empty object trailing junk", []byte("{}]")},
+		{"wrong schema", mustJSON(t, checkpointFile{Schema: checkpointSchema + 1, Jobs: valid.Jobs})},
+		{"invalid spec", mustJSON(t, checkpointFile{Schema: checkpointSchema, Jobs: []PersistedJob{
+			{ID: "j-000001", Spec: specN(1)},
+			{ID: "j-000002", Spec: Spec{Kind: "bogus"}},
+		}})},
+	}
+	for _, tc := range cases {
+		t.Run(strings.ReplaceAll(tc.name, " ", "_"), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "queue.json")
+			if err := os.WriteFile(path, tc.bytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			q := New(Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec Spec, _ func(done, retries int)) (any, error) {
+				return &RunArtifact{}, nil
+			}})
+			defer q.Shutdown(context.Background())
+
+			n, err := q.Restore(path)
+			if err == nil {
+				t.Fatalf("Restore(%s) succeeded, want corrupt error", tc.name)
+			}
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("Restore error %v does not match ErrCheckpointCorrupt", err)
+			}
+			var ce *CorruptCheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Restore error %T is not a *CorruptCheckpointError", err)
+			}
+			if ce.Path != path {
+				t.Errorf("CorruptCheckpointError.Path = %q, want %q", ce.Path, path)
+			}
+			if n != 0 {
+				t.Fatalf("corrupt restore loaded %d jobs, want 0 (no half-loads)", n)
+			}
+			if got := q.Pending(); got != 0 {
+				t.Fatalf("queue has %d pending after failed restore, want 0", got)
+			}
+
+			// The queue must remain fully usable.
+			id, _, err := q.Submit(specN(3))
+			if err != nil {
+				t.Fatalf("Submit after failed restore: %v", err)
+			}
+			st, err := q.Wait(context.Background(), id)
+			if err != nil || st.State != StateDone {
+				t.Fatalf("job after failed restore: state=%v err=%v", st.State, err)
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRestoreMissingFileIsNotCorrupt pins the distinction: absent file =
+// fresh daemon, zero jobs, nil error.
+func TestRestoreMissingFileIsNotCorrupt(t *testing.T) {
+	q := New(Options{Workers: 1, Capacity: 4})
+	defer q.Shutdown(context.Background())
+	n, err := q.Restore(filepath.Join(t.TempDir(), "nope.json"))
+	if n != 0 || err != nil {
+		t.Fatalf("Restore(missing) = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestRetryAndRequeueCounts drives both counters: an executor that reports
+// retries through progress, and a drain timeout that requeues the in-flight
+// job. Both must surface in Status and the requeue count must survive a
+// checkpoint/restore cycle.
+func TestRetryAndRequeueCounts(t *testing.T) {
+	exec, release, _ := blockingExec()
+	q := New(Options{Workers: 1, Capacity: 8, Exec: exec})
+	id, _, err := q.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, id, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	close(release)
+	st, err := q.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requeues != 1 {
+		t.Fatalf("requeues after drain = %d, want 1", st.Requeues)
+	}
+
+	path := filepath.Join(t.TempDir(), "queue.json")
+	if err := q.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored job carries its requeue history and accumulates retries
+	// reported by the executor.
+	q2 := New(Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
+		progress(1, 3)
+		return &RunArtifact{}, nil
+	}})
+	defer q2.Shutdown(context.Background())
+	if n, err := q2.Restore(path); err != nil || n != 1 {
+		t.Fatalf("Restore = (%d, %v), want (1, nil)", n, err)
+	}
+	st2, err := q2.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone {
+		t.Fatalf("restored job finished %s: %s", st2.State, st2.Err)
+	}
+	if st2.Requeues != 1 {
+		t.Errorf("restored job requeues = %d, want 1 (persisted)", st2.Requeues)
+	}
+	if st2.Retries != 3 {
+		t.Errorf("job retries = %d, want 3 (from executor progress)", st2.Retries)
+	}
+
+	// And the status JSON carries both fields for GET /v1/jobs/{id}.
+	b, err := json.Marshal(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"retries":3`, `"requeues":1`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("status JSON %s missing %s", b, want)
+		}
+	}
+}

@@ -18,10 +18,11 @@ func defaultWorkers(n int) int {
 
 // Execute is the real executor: it runs a spec through internal/core and
 // returns the artifact to store. progress, when non-nil, receives the
-// running count of completed points (1 for a plain run). Both the job queue
-// and anything driving specs directly (tests, batch tools) use this one
-// function, so service results and local results are the same bytes.
-func Execute(ctx context.Context, spec Spec, progress func(done int)) (any, error) {
+// running count of completed points (1 for a plain run) and of retries
+// spent. Both the job queue and anything driving specs directly (tests,
+// batch tools) use this one function, so service results and local results
+// are the same bytes.
+func Execute(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
 	switch spec.Kind {
 	case KindRun:
 		res, err := core.RunContext(ctx, spec.Config)
@@ -29,19 +30,20 @@ func Execute(ctx context.Context, spec Spec, progress func(done int)) (any, erro
 			return nil, err
 		}
 		if progress != nil {
-			progress(1)
+			progress(1, 0)
 		}
 		return &RunArtifact{Result: res}, nil
 	case KindSweep:
 		var mu sync.Mutex
-		done := 0
-		onPoint := func(core.SweepResult) {
+		done, retries := 0, 0
+		onPoint := func(r core.SweepResult) {
 			mu.Lock()
 			done++
-			d := done
+			retries += r.Retries
+			d, rt := done, retries
 			mu.Unlock()
 			if progress != nil {
-				progress(d)
+				progress(d, rt)
 			}
 		}
 		results, err := core.SweepTDVSContext(ctx, spec.Config,

@@ -53,6 +53,15 @@ type Status struct {
 	PointsDone  int    `json:"points_done"`
 	PointsTotal int    `json:"points_total"`
 	Err         string `json:"err,omitempty"`
+	// Retries counts execution attempts beyond the first spent inside the
+	// job so far: per-point engine retries for a local sweep, plus remote
+	// resubmissions and steals for a federated one. Before this field,
+	// retry-once outcomes were visible only in sweep failure records.
+	Retries int `json:"retries,omitempty"`
+	// Requeues counts how many times the job was interrupted and returned
+	// to the pending queue (drain timeouts). Persisted across restarts via
+	// the checkpoint, so a job that keeps bouncing is visible as such.
+	Requeues int `json:"requeues,omitempty"`
 	// TraceID is the submitting request's trace ID, when one was attached.
 	TraceID string `json:"trace_id,omitempty"`
 	// Stage durations, filled as the job progresses (terminal jobs carry
@@ -74,6 +83,8 @@ type job struct {
 	err         string
 	pointsDone  int
 	pointsTotal int
+	retries     int
+	requeues    int
 	artifact    json.RawMessage
 	cancel      context.CancelFunc
 	userCancel  bool
@@ -141,9 +152,11 @@ func (h *pendingHeap) Pop() any {
 }
 
 // Executor turns a spec into its artifact. progress, when called, reports
-// the running count of completed points. The production executor is
-// Execute; tests substitute deterministic stand-ins.
-type Executor func(ctx context.Context, spec Spec, progress func(done int)) (any, error)
+// the running count of completed points and of retries (execution attempts
+// beyond the first) spent so far. The production executor is Execute;
+// federated queues wrap it (see internal/federation); tests substitute
+// deterministic stand-ins.
+type Executor func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error)
 
 // Options configures a Queue.
 type Options struct {
@@ -359,6 +372,8 @@ func (q *Queue) statusLocked(j *job) Status {
 		PointsDone:      j.pointsDone,
 		PointsTotal:     j.pointsTotal,
 		Err:             j.err,
+		Retries:         j.retries,
+		Requeues:        j.requeues,
 		TraceID:         j.spec.TraceID,
 		QueueWaitNs:     queueWait.Nanoseconds(),
 		ExecNs:          exec.Nanoseconds(),
@@ -497,10 +512,13 @@ func (q *Queue) worker() {
 		q.gauges()
 		q.mu.Unlock()
 
-		artifact, err := q.exec(ctx, j.spec, func(done int) {
+		artifact, err := q.exec(ctx, j.spec, func(done, retries int) {
 			q.mu.Lock()
 			if done > j.pointsDone {
 				j.pointsDone = done
+			}
+			if retries > j.retries {
+				j.retries = retries
 			}
 			q.mu.Unlock()
 		})
@@ -520,10 +538,12 @@ func (q *Queue) worker() {
 			j.requeue = false
 			j.cancel = nil
 			j.pointsDone = 0
+			j.retries = 0
+			j.requeues++
 			j.tSubmit = q.now()
 			j.tStart, j.tExecEnd, j.tFinish = time.Time{}, time.Time{}, time.Time{}
 			heap.Push(&q.pending, j)
-			q.log.Info("job requeued", "job", j.id, "trace_id", j.spec.TraceID)
+			q.log.Info("job requeued", "job", j.id, "trace_id", j.spec.TraceID, "requeues", j.requeues)
 		case ctx.Err() != nil && j.userCancel:
 			j.state = StateCanceled
 			j.err = context.Cause(ctx).Error()
@@ -594,4 +614,11 @@ func (q *Queue) Pending() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.pending)
+}
+
+// Running returns the number of jobs currently executing.
+func (q *Queue) Running() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running
 }

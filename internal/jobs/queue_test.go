@@ -22,19 +22,19 @@ func specN(n int) Spec {
 
 // blockingExec returns an executor that parks every job until release is
 // closed (or its context is canceled), recording execution order.
-func blockingExec() (exec func(context.Context, Spec, func(int)) (any, error), release chan struct{}, order *[]int64) {
+func blockingExec() (exec Executor, release chan struct{}, order *[]int64) {
 	release = make(chan struct{})
 	var mu sync.Mutex
 	var seen []int64
 	order = &seen
-	exec = func(ctx context.Context, spec Spec, progress func(int)) (any, error) {
+	exec = func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
 		mu.Lock()
 		seen = append(seen, spec.Config.Cycles)
 		mu.Unlock()
 		select {
 		case <-release:
 			if progress != nil {
-				progress(1)
+				progress(1, 0)
 			}
 			return &RunArtifact{}, nil
 		case <-ctx.Done():
@@ -90,7 +90,7 @@ func TestQueueDedup(t *testing.T) {
 	var execs int
 	var mu sync.Mutex
 	block := make(chan struct{})
-	q := New(Options{Workers: 2, Capacity: 8, Exec: func(ctx context.Context, spec Spec, _ func(int)) (any, error) {
+	q := New(Options{Workers: 2, Capacity: 8, Exec: func(ctx context.Context, spec Spec, _ func(done, retries int)) (any, error) {
 		mu.Lock()
 		execs++
 		mu.Unlock()
@@ -242,9 +242,9 @@ func TestQueuePriorityOrder(t *testing.T) {
 }
 
 func TestQueueProgressAndArtifact(t *testing.T) {
-	q := New(Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec Spec, progress func(int)) (any, error) {
+	q := New(Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
 		for i := 1; i <= spec.Sweep.Points(); i++ {
-			progress(i)
+			progress(i, 0)
 		}
 		return &SweepArtifact{Points: []SweepPoint{{Point: core.Point{ThresholdMbps: 1}}}}, nil
 	}})
@@ -318,7 +318,7 @@ func TestQueueCheckpointResume(t *testing.T) {
 
 	// A fresh queue resumes the work under the same IDs.
 	done := make(chan string, 8)
-	q2 := New(Options{Workers: 2, Capacity: 8, Exec: func(ctx context.Context, spec Spec, _ func(int)) (any, error) {
+	q2 := New(Options{Workers: 2, Capacity: 8, Exec: func(ctx context.Context, spec Spec, _ func(done, retries int)) (any, error) {
 		done <- fmt.Sprint(spec.Config.Cycles)
 		return &RunArtifact{}, nil
 	}})

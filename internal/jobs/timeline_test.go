@@ -33,8 +33,8 @@ func TestStageDurationsSumToWall(t *testing.T) {
 	q := New(Options{
 		Workers: 1, Capacity: 4, Registry: reg,
 		Now: (&stepClock{t: time.Unix(1000, 0)}).now,
-		Exec: func(ctx context.Context, spec Spec, progress func(int)) (any, error) {
-			progress(1)
+		Exec: func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
+			progress(1, 0)
 			return &RunArtifact{}, nil
 		},
 	})
@@ -81,7 +81,7 @@ func TestTimelineMatchesStatus(t *testing.T) {
 	q := New(Options{
 		Workers: 1, Capacity: 4,
 		Now: (&stepClock{t: time.Unix(2000, 0)}).now,
-		Exec: func(ctx context.Context, spec Spec, progress func(int)) (any, error) {
+		Exec: func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
 			return &RunArtifact{}, nil
 		},
 	})

@@ -237,7 +237,14 @@ func lintGoPackage(fset *token.FileSet, imp *moduleImporter, root, module, dir s
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
 	}
-	imp.cache[pkgPath] = pkg
+	// Seed the importer cache only if this path was never imported: packages
+	// already in the cache are interned — other cached packages hold
+	// references to their type objects, and replacing the entry with this
+	// fresh check would make later packages see two non-identical versions
+	// of the same type (cached dependants vs the fresh import).
+	if _, ok := imp.cache[pkgPath]; !ok {
+		imp.cache[pkgPath] = pkg
+	}
 
 	w := &goWalker{
 		fset:    fset,

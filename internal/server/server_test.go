@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -31,14 +32,14 @@ func newHarness(t *testing.T, workers, capacity int) *harness {
 		Workers:  workers,
 		Capacity: capacity,
 		Registry: reg,
-		Exec: func(ctx context.Context, spec jobs.Spec, progress func(int)) (any, error) {
+		Exec: func(ctx context.Context, spec jobs.Spec, progress func(done, retries int)) (any, error) {
 			select {
 			case <-release:
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
 			if progress != nil {
-				progress(1)
+				progress(1, 0)
 			}
 			if spec.Kind == jobs.KindSweep {
 				return &jobs.SweepArtifact{Points: []jobs.SweepPoint{{Point: core.Point{ThresholdMbps: 1000}}}}, nil
@@ -317,7 +318,7 @@ func TestServerHealthAndMetrics(t *testing.T) {
 func TestServerDrainingReturns503(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	q := jobs.New(jobs.Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec jobs.Spec, _ func(int)) (any, error) {
+	q := jobs.New(jobs.Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec jobs.Spec, _ func(done, retries int)) (any, error) {
 		return &jobs.RunArtifact{}, nil
 	}})
 	srv := httptest.NewServer(New(Options{Queue: q}))
@@ -332,5 +333,86 @@ func TestServerDrainingReturns503(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit to drained queue: %d, want 503", resp.StatusCode)
+	}
+}
+
+// stubCache is an in-memory CacheReader for the peer cache endpoint.
+type stubCache map[string]string
+
+func (c stubCache) Payload(key string) (json.RawMessage, bool) {
+	p, ok := c[key]
+	return json.RawMessage(p), ok
+}
+
+func TestServerCacheEndpoint(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	q := jobs.New(jobs.Options{Workers: 1, Capacity: 8, Exec: func(ctx context.Context, spec jobs.Spec, _ func(done, retries int)) (any, error) {
+		return &jobs.RunArtifact{}, nil
+	}})
+	defer q.Shutdown(context.Background())
+	key := strings.Repeat("ab", 32)
+	payload := `{"result":{"MonitorFraction":0.5}}`
+	srv := httptest.NewServer(New(Options{Queue: q, Cache: stubCache{key: payload}}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit: %d %s", resp.StatusCode, body)
+	}
+	if string(body) != payload {
+		t.Errorf("cache payload = %s, want %s (byte-for-byte)", body, payload)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/cache/" + strings.Repeat("cd", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cache miss: %d, want 404", resp.StatusCode)
+	}
+
+	// A node without a cache 404s rather than erroring.
+	bare := httptest.NewServer(New(Options{Queue: q}))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cacheless node: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerHealthzQueueDepth(t *testing.T) {
+	h := newHarness(t, 1, 8)
+	// One job running (executor blocks on release), one queued behind it.
+	h.post(t, "/v1/runs", runBody(1))
+	h.post(t, "/v1/runs", runBody(2))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.queue.Running() == 1 && h.queue.Pending() == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, body := h.get(t, "/healthz")
+	var hz struct {
+		Status  string `json:"status"`
+		Queued  int    `json:"queued"`
+		Running int    `json:"running"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz body %s: %v", body, err)
+	}
+	if hz.Status != "ok" || hz.Running != 1 || hz.Queued != 1 {
+		t.Fatalf("healthz = %+v, want ok/1 running/1 queued", hz)
 	}
 }

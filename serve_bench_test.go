@@ -128,9 +128,9 @@ func BenchmarkCacheHit(b *testing.B) {
 func BenchmarkServerThroughput(b *testing.B) {
 	reg := serveRegistry()
 	q := jobs.New(jobs.Options{Workers: 4, Capacity: 1024, Registry: reg,
-		Exec: func(ctx context.Context, spec jobs.Spec, progress func(int)) (any, error) {
+		Exec: func(ctx context.Context, spec jobs.Spec, progress func(done, retries int)) (any, error) {
 			if progress != nil {
-				progress(1)
+				progress(1, 0)
 			}
 			return &jobs.RunArtifact{}, nil
 		}})
