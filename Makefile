@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLOCParse -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzFormulaLint -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzAsmLint -fuzztime=$(FUZZTIME) ./internal/isa/
+	$(GO) test -fuzz=FuzzPolicyValidate -fuzztime=$(FUZZTIME) ./internal/policy/
 
 # Single-shot bench sweeps: quick numbers, too noisy to gate on (use
 # bench-gate for that).
@@ -59,13 +60,14 @@ bench-obs:
 bench-serve:
 	$(GO) test -bench='BenchmarkCacheHit|BenchmarkServerThroughput' -benchtime=10x -run '^$$' -benchserve BENCH_serve.json .
 
-# The regression gate (DESIGN.md §14). GATE_BENCHES covers the three
-# heaviest end-to-end paths: the Figure 6 pipeline, the idle study, and the
-# shared §4.1 sweep. GATE_COUNT repeats give the trajectory medians their
-# noise immunity; GATE_THRESHOLD is deliberately generous because CI
-# machines vary — the gate exists to catch order-of-magnitude mistakes
-# (accidental O(n²), a dropped cache), not 10% drift.
-GATE_BENCHES ?= BenchmarkFig6$$|BenchmarkIdleStudy$$|BenchmarkTDVSSweep$$
+# The regression gate (DESIGN.md §14). GATE_BENCHES covers the heaviest
+# end-to-end paths — the Figure 6 pipeline, the idle study, the shared §4.1
+# sweep — plus the registry-policy tick hot path. GATE_COUNT repeats give
+# the trajectory medians their noise immunity; GATE_THRESHOLD is
+# deliberately generous because CI machines vary — the gate exists to catch
+# order-of-magnitude mistakes (accidental O(n²), a dropped cache), not 10%
+# drift.
+GATE_BENCHES ?= BenchmarkFig6$$|BenchmarkIdleStudy$$|BenchmarkTDVSSweep$$|BenchmarkPolicyTick$$
 GATE_COUNT ?= 5
 GATE_CYCLES ?= 200000
 GATE_THRESHOLD ?= 40

@@ -33,9 +33,11 @@ import (
 	"testing"
 	"time"
 
+	"nepdvs/internal/core"
 	"nepdvs/internal/experiments"
 	"nepdvs/internal/obs"
 	"nepdvs/internal/perf"
+	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
 
@@ -211,6 +213,33 @@ func BenchmarkAblationPenalty(b *testing.B) { benchReport(b, "ablation-penalty")
 
 // BenchmarkAblationCombined measures the combined-policy ablation.
 func BenchmarkAblationCombined(b *testing.B) { benchReport(b, "ablation-combined") }
+
+// BenchmarkPolicyTick measures the registry-policy hot path end to end: a
+// PID-controlled simulation whose every control window exercises the
+// policy framework's tick → queue read → actuation chain. The per-op cost
+// gates the plugin subsystem's overhead against the committed baseline.
+func BenchmarkPolicyTick(b *testing.B) {
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Cycles = *benchCycles
+	// A small window maximizes ticks per simulated cycle, keeping the
+	// measurement dominated by the policy framework rather than the NPU.
+	cfg.Policy = core.NewPolicy("pid", map[string]float64{"window_cycles": 10000})
+	var reg *obs.Registry
+	if perfRec != nil {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	s := beginSample(b.N)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.end(b.Name(), reg)
+}
 
 // BenchmarkTDVSSweep measures the shared §4.1 sweep that Figures 6–9 are
 // views of, end to end.

@@ -203,6 +203,58 @@ func TestCLIDvsexploreStaticFigs(t *testing.T) {
 	}
 }
 
+// TestCLIPolicyRegistry drives the registry surface of both front ends:
+// -list-policies enumerates every policy with its parameter docs, -p
+// parameters reach the policy, and a misspelled parameter fails with a
+// did-you-mean hint.
+func TestCLIPolicyRegistry(t *testing.T) {
+	bins := buildTools(t)
+
+	for _, tool := range []string{"nepsim", "dvsexplore"} {
+		out, err := runTool(t, filepath.Join(bins, tool), "-list-policies")
+		if err != nil {
+			t.Fatalf("%s -list-policies: %v\n%s", tool, err, out)
+		}
+		for _, want := range []string{"tdvs", "edvs", "combined", "oracle", "pid", "psm", "(required)", "aliases:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s -list-policies missing %q:\n%s", tool, want, out)
+			}
+		}
+	}
+
+	// A registry policy with -p overrides runs end to end.
+	out, err := runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-level", "high", "-cycles", "400000",
+		"-policy", "pid", "-p", "kp=4", "-p", "setpoint_frac=0.15")
+	if err != nil {
+		t.Fatalf("nepsim -policy pid: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "policy         pid") {
+		t.Errorf("nepsim output missing the pid policy line:\n%s", out)
+	}
+
+	// A legacy alias still resolves through the registry.
+	out, err = runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-level", "low", "-cycles", "400000",
+		"-policy", "TDVS", "-threshold", "1000", "-window", "40000")
+	if err != nil {
+		t.Fatalf("nepsim -policy TDVS: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "policy         tdvs") {
+		t.Errorf("nepsim output missing the canonical tdvs policy line:\n%s", out)
+	}
+
+	// Misspelled parameters die with a hint instead of simulating.
+	out, err = runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-cycles", "400000", "-policy", "pid", "-p", "window_cycle=100")
+	if err == nil {
+		t.Fatalf("nepsim with a misspelled parameter succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "did you mean") {
+		t.Errorf("misspelled parameter error lacks a did-you-mean hint:\n%s", out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	bins := buildTools(t)
 	cases := []struct {

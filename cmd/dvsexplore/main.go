@@ -22,7 +22,8 @@
 // Examples:
 //
 //	dvsexplore -list
-//	dvsexplore fig6 fig7
+//	dvsexplore -list-policies
+//	dvsexplore fig6 fig7 policy_compare
 //	dvsexplore -cycles 2000000 -outdir results -metrics results all
 //	dvsexplore -checkpoint results/ck -run-timeout 10m -outdir results all
 package main
@@ -40,6 +41,7 @@ import (
 	"nepdvs/internal/core"
 	"nepdvs/internal/experiments"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/policy"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "traffic seed")
 		outdir     = flag.String("outdir", "", "write each report to <outdir>/<id>.dat instead of stdout")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		listPol    = flag.Bool("list-policies", false, "list registered DVS/DPM policies with their parameters and exit")
 		metricsDir = flag.String("metrics", "", "write metrics.json and metrics.prom into this directory")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock watchdog per simulation run (0 = unbounded)")
@@ -62,6 +65,10 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+	if *listPol {
+		fmt.Print(policy.DescribeAll())
 		return
 	}
 	if err := run(*cycles, *par, *seed, *outdir, *metricsDir, *quiet,

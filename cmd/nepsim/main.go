@@ -8,6 +8,8 @@
 //	nepsim -bench ipfwdr -level high -cycles 8000000 -trace run.trc
 //	nepsim -bench nat -mbps 600 -policy tdvs -threshold 1000 -window 40000
 //	nepsim -bench md4 -level medium -policy edvs -window 40000 -idle 0.10
+//	nepsim -bench ipfwdr -policy pid -p kp=4 -p setpoint_frac=0.15
+//	nepsim -list-policies
 //	nepsim -bench nat -policy tdvs -metrics m.json
 //	nepsim -bench ipfwdr -policy tdvs -faults plan.json -run-timeout 5m
 //	nepsim -bench ipfwdr -level high -timeline run.trace.json
@@ -37,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,11 +48,36 @@ import (
 	"nepdvs/internal/core"
 	"nepdvs/internal/fault"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/policy"
 	"nepdvs/internal/span"
 	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
+
+// paramList collects repeatable -p name=value policy parameters.
+type paramList map[string]float64
+
+func (p paramList) String() string {
+	var parts []string
+	for k, v := range p {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p paramList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %s: %w", name, err)
+	}
+	p[name] = v
+	return nil
+}
 
 // options collects every flag; run receives it whole.
 type options struct {
@@ -57,6 +85,8 @@ type options struct {
 	mbps           float64
 	cycles, seed   int64
 	policy         string
+	listPolicies   bool
+	params         paramList
 	threshold      float64
 	window         int64
 	idleFrac, hyst float64
@@ -83,7 +113,10 @@ func main() {
 	flag.Float64Var(&o.mbps, "mbps", 0, "override offered load in Mbps (0 = use -level)")
 	flag.Int64Var(&o.cycles, "cycles", 8_000_000, "run length in 600 MHz reference cycles")
 	flag.Int64Var(&o.seed, "seed", 1, "traffic seed")
-	flag.StringVar(&o.policy, "policy", "nodvs", "DVS policy: nodvs, tdvs, edvs, combined or oracle")
+	flag.StringVar(&o.policy, "policy", "nodvs", "DVS/DPM policy from the registry (see -list-policies), or nodvs")
+	flag.BoolVar(&o.listPolicies, "list-policies", false, "list registered policies with their parameters and exit")
+	o.params = paramList{}
+	flag.Var(o.params, "p", "policy parameter as name=value (repeatable; overrides the legacy flags)")
 	flag.Float64Var(&o.threshold, "threshold", 1000, "TDVS top threshold in Mbps")
 	flag.Int64Var(&o.window, "window", 40000, "DVS monitor window in reference cycles")
 	flag.Float64Var(&o.idleFrac, "idle", 0.10, "EDVS idle threshold fraction")
@@ -108,7 +141,44 @@ func main() {
 	}
 }
 
+// resolvePolicy builds the run's PolicyConfig from the registry: -policy
+// names a registered factory (or nodvs), the legacy convenience flags fill
+// whichever of the factory's declared parameters they map to, and repeatable
+// -p name=value entries override both. Unknown names fail here with the
+// registry's did-you-mean hint.
+func resolvePolicy(o options) (core.PolicyConfig, error) {
+	name, err := policy.Canonical(o.policy)
+	if err != nil {
+		return core.PolicyConfig{}, err
+	}
+	params := map[string]float64{}
+	if fac, _ := policy.Lookup(name); fac != nil {
+		legacy := map[string]float64{
+			"top_threshold_mbps": o.threshold,
+			"window_cycles":      float64(o.window),
+			"idle_frac":          o.idleFrac,
+			"hysteresis":         o.hyst,
+		}
+		for _, d := range fac.Params {
+			if v, ok := legacy[d.Name]; ok {
+				params[d.Name] = v
+			}
+		}
+	}
+	for k, v := range o.params {
+		params[k] = v
+	}
+	if len(params) == 0 {
+		params = nil
+	}
+	return core.PolicyConfig{Name: name, Params: params}, nil
+}
+
 func run(o options, rawArgs []string) error {
+	if o.listPolicies {
+		fmt.Print(policy.DescribeAll())
+		return nil
+	}
 	start := time.Now()
 	prof, err := obs.StartProfiles(o.cpuprofile, o.memprofile)
 	if err != nil {
@@ -142,19 +212,9 @@ func run(o options, rawArgs []string) error {
 		cfg.Packets = pkts
 		cfg.PacketCount = len(pkts)
 	}
-	switch o.policy {
-	case "nodvs":
-		cfg.Policy = core.PolicyConfig{Kind: core.NoDVS}
-	case "tdvs":
-		cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: o.threshold, WindowCycles: o.window, Hysteresis: o.hyst}
-	case "edvs":
-		cfg.Policy = core.PolicyConfig{Kind: core.EDVS, WindowCycles: o.window, IdleFrac: o.idleFrac}
-	case "combined":
-		cfg.Policy = core.PolicyConfig{Kind: core.CombinedDVS, TopThresholdMbps: o.threshold, WindowCycles: o.window, IdleFrac: o.idleFrac}
-	case "oracle":
-		cfg.Policy = core.PolicyConfig{Kind: core.OracleDVS, TopThresholdMbps: o.threshold, WindowCycles: o.window}
-	default:
-		return fmt.Errorf("unknown policy %q (want nodvs, tdvs, edvs, combined or oracle)", o.policy)
+	cfg.Policy, err = resolvePolicy(o)
+	if err != nil {
+		return err
 	}
 	if o.formulas != "" {
 		src, err := os.ReadFile(o.formulas)
@@ -363,7 +423,7 @@ func deriveManifest(out string) string {
 func printStats(bench string, res *core.RunResult) {
 	st := res.Stats
 	fmt.Printf("benchmark      %s\n", bench)
-	fmt.Printf("policy         %s\n", res.Config.Policy.Kind)
+	fmt.Printf("policy         %s\n", res.Config.Policy)
 	fmt.Printf("offered        %.1f Mbps (%d packets)\n", st.OfferedMbps(), st.PktsArrived)
 	fmt.Printf("forwarded      %.1f Mbps (%d packets)\n", st.SentMbps(), st.PktsSent)
 	fmt.Printf("packet loss    %.4f\n", st.LossFrac())

@@ -55,7 +55,7 @@ func main() {
 		log.Fatal(err)
 	}
 	edvs := base
-	edvs.Policy = core.PolicyConfig{Kind: core.EDVS, WindowCycles: 40000, IdleFrac: 0.10}
+	edvs.Policy = core.EDVSPolicy(40000, 0.10)
 	withDVS, err := core.Run(edvs)
 	if err != nil {
 		log.Fatal(err)

@@ -30,11 +30,7 @@ func main() {
 	}
 
 	tdvs := base
-	tdvs.Policy = core.PolicyConfig{
-		Kind:             core.TDVS,
-		TopThresholdMbps: 1000, // paper Figure 5 ladder
-		WindowCycles:     40000,
-	}
+	tdvs.Policy = core.TDVSPolicy(1000, 40000) // paper Figure 5 ladder
 	withDVS, err := core.Run(tdvs)
 	if err != nil {
 		log.Fatal(err)

@@ -22,7 +22,7 @@ func testConfig(t *testing.T) core.RunConfig {
 		t.Fatal(err)
 	}
 	cfg.Cycles = 300_000
-	cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	cfg.Policy = core.TDVSPolicy(1000, 40000)
 	cfg.Formulas = core.PowerFormula(20, 0.5, 2.25, 0.05)
 	return cfg
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"nepdvs/internal/obs"
+	"nepdvs/internal/policy"
 )
 
 // Content-addressed run caching. PR 2 made every run a byte-identical
@@ -30,7 +31,14 @@ import (
 // runKeySchema versions the key derivation itself. Bump it whenever the
 // canonical serialization or the simulation semantics change incompatibly;
 // old entries then simply miss.
-const runKeySchema = 1
+//
+// Schema history:
+//
+//	1 — PolicyConfig as the closed PolicyKind enum.
+//	2 — PolicyConfig as registry {Name, Params}, canonicalized (aliases
+//	    resolved, defaults filled) before hashing; the chip gained the
+//	    DPM sleep states.
+const runKeySchema = 2
 
 // CachedRun is the unit the run cache stores: the full result plus the
 // run's own metrics snapshot, so a cache hit can replay its metrics into
@@ -153,6 +161,12 @@ func RunKeyMaterial(cfg RunConfig) ([]byte, error) {
 	norm.ExtraSink = nil
 	norm.Metrics = nil
 	norm.Spans = nil
+	// Canonicalize the policy so a run under a legacy alias ("TDVS") or
+	// one spelling out a factory default explicitly shares its canonical
+	// twin's content address. Unresolvable names pass through verbatim;
+	// such configs fail validation and are never stored.
+	name, params := policy.Canonicalize(norm.Policy.Name, policy.Params(norm.Policy.Params))
+	norm.Policy = PolicyConfig{Name: name, Params: params}
 	m := runKeyMaterial{Schema: runKeySchema, Code: codeVersion(), Config: norm}
 	if cfg.Packets != nil {
 		h := sha256.New()

@@ -55,7 +55,7 @@ func cacheTestConfig(t *testing.T) RunConfig {
 		t.Fatal(err)
 	}
 	cfg.Cycles = 300_000
-	cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	cfg.Policy = TDVSPolicy(1000, 40000)
 	cfg.Formulas = PowerFormula(20, 0.5, 2.25, 0.05)
 	return cfg
 }
@@ -90,7 +90,7 @@ func TestRunKeyStability(t *testing.T) {
 	for name, mutate := range map[string]func(*RunConfig){
 		"seed":      func(c *RunConfig) { c.Traffic.Seed++ },
 		"cycles":    func(c *RunConfig) { c.Cycles++ },
-		"threshold": func(c *RunConfig) { c.Policy.TopThresholdMbps += 100 },
+		"threshold": func(c *RunConfig) { c.Policy = TDVSPolicy(1100, 40000) },
 		"formulas":  func(c *RunConfig) { c.Formulas = "" },
 	} {
 		mod := cfg
@@ -102,6 +102,76 @@ func TestRunKeyStability(t *testing.T) {
 		if k == k1 {
 			t.Errorf("changing %s did not change the run key", name)
 		}
+	}
+}
+
+// TestRunKeyPolicyCanonicalization pins the registry-era key semantics: a
+// policy spelled through a legacy alias, or with its optional defaults
+// written out, hits the same content address as the canonical spelling —
+// while a genuinely different policy or parameter value misses.
+func TestRunKeyPolicyCanonicalization(t *testing.T) {
+	base := cacheTestConfig(t)
+	base.Policy = TDVSPolicy(1000, 40000) // canonical name, defaults elided
+	k1, err := RunKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, pol := range map[string]PolicyConfig{
+		"legacy alias": NewPolicy("TDVS", map[string]float64{
+			"top_threshold_mbps": 1000, "window_cycles": 40000,
+		}),
+		"explicit default": NewPolicy("tdvs", map[string]float64{
+			"top_threshold_mbps": 1000, "window_cycles": 40000, "hysteresis": 0,
+		}),
+	} {
+		mod := base
+		mod.Policy = pol
+		k, err := RunKey(mod)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k != k1 {
+			t.Errorf("%s spelling missed the canonical content address", name)
+		}
+	}
+
+	for name, pol := range map[string]PolicyConfig{
+		"different policy":  NewPolicy("pid", nil),
+		"different default": NewPolicy("tdvs", map[string]float64{"top_threshold_mbps": 1000, "window_cycles": 40000, "hysteresis": 0.1}),
+		"no policy":         {},
+	} {
+		mod := base
+		mod.Policy = pol
+		k, err := RunKey(mod)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("%s collided with the tdvs content address", name)
+		}
+	}
+}
+
+// TestRunKeySchemaStamp pins the schema version into the key material: the
+// registry refactor bumped it to 2 so every pre-registry cache entry
+// misses rather than replaying a run keyed under the old enum encoding.
+func TestRunKeySchemaStamp(t *testing.T) {
+	b, err := RunKeyMaterial(cacheTestConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("key material is not JSON: %q", b)
+	}
+	var m struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != 2 {
+		t.Errorf("key material schema = %d, want 2 (bump TestRunKeySchemaStamp alongside any deliberate schema change)", m.Schema)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"nepdvs/internal/loc"
 	"nepdvs/internal/npu"
 	"nepdvs/internal/obs"
+	"nepdvs/internal/policy"
 	"nepdvs/internal/sim"
 	"nepdvs/internal/span"
 	"nepdvs/internal/trace"
@@ -33,49 +34,72 @@ import (
 	"nepdvs/internal/workload"
 )
 
-// PolicyKind selects the DVS policy of a run.
-type PolicyKind int
-
-// Policies.
-const (
-	NoDVS PolicyKind = iota
-	TDVS
-	EDVS
-	CombinedDVS
-	// OracleDVS is the lookahead ablation: a traffic-based policy with a
-	// perfect one-window-ahead load predictor (see dvs.Oracle).
-	OracleDVS
-)
-
-func (p PolicyKind) String() string {
-	switch p {
-	case NoDVS:
-		return "noDVS"
-	case TDVS:
-		return "TDVS"
-	case EDVS:
-		return "EDVS"
-	case CombinedDVS:
-		return "TDVS+EDVS"
-	case OracleDVS:
-		return "oracleTDVS"
-	}
-	return fmt.Sprintf("PolicyKind(%d)", int(p))
+// PolicyConfig selects and parameterizes the run's DVS/DPM policy by
+// registry name (see internal/policy). The closed PolicyKind enum this
+// replaces survives as registered aliases: "TDVS", "EDVS", "TDVS+EDVS" and
+// "oracleTDVS" resolve to the same factories — and the same cache keys —
+// as "tdvs", "edvs", "combined" and "oracle".
+type PolicyConfig struct {
+	// Name is a policy registry name or alias; empty means no policy.
+	Name string `json:",omitempty"`
+	// Params holds the policy's parameters by canonical snake_case name
+	// ("window_cycles", "top_threshold_mbps", ...); absent keys take the
+	// factory's documented defaults.
+	Params map[string]float64 `json:",omitempty"`
 }
 
-// PolicyConfig parameterizes the DVS policy.
-type PolicyConfig struct {
-	Kind PolicyKind
-	// WindowCycles is the monitor window in reference-clock cycles
-	// (20k–80k in the paper).
-	WindowCycles int64
-	// TopThresholdMbps is the TDVS top-rung threshold (800–1400 in the
-	// paper); the rest of the ladder is derived per Figure 5.
-	TopThresholdMbps float64
-	// IdleFrac is the EDVS idle threshold (0.10 in the paper).
-	IdleFrac float64
-	// Hysteresis widens the TDVS decision band (ablation; 0 = paper).
-	Hysteresis float64
+// String renders the policy for charts and logs: the canonical registry
+// name, or "noDVS" for the empty policy.
+func (p PolicyConfig) String() string {
+	if p.Name == "" {
+		return "noDVS"
+	}
+	if c, err := policy.Canonical(p.Name); err == nil {
+		return c
+	}
+	return p.Name
+}
+
+// Param returns one parameter's explicit value, or 0 when absent. It does
+// not apply factory defaults — use internal/policy for resolved values.
+func (p PolicyConfig) Param(name string) float64 { return p.Params[name] }
+
+// NewPolicy builds a PolicyConfig for a registry policy.
+func NewPolicy(name string, params map[string]float64) PolicyConfig {
+	return PolicyConfig{Name: name, Params: params}
+}
+
+// TDVSPolicy is the traffic-based policy at a Figure 6 design point.
+func TDVSPolicy(thresholdMbps float64, windowCycles int64) PolicyConfig {
+	return NewPolicy("tdvs", map[string]float64{
+		"top_threshold_mbps": thresholdMbps,
+		"window_cycles":      float64(windowCycles),
+	})
+}
+
+// EDVSPolicy is the execution-based policy at a Figure 10 design point.
+func EDVSPolicy(windowCycles int64, idleFrac float64) PolicyConfig {
+	return NewPolicy("edvs", map[string]float64{
+		"window_cycles": float64(windowCycles),
+		"idle_frac":     idleFrac,
+	})
+}
+
+// CombinedPolicy is the TDVS+EDVS ablation.
+func CombinedPolicy(thresholdMbps float64, windowCycles int64, idleFrac float64) PolicyConfig {
+	return NewPolicy("combined", map[string]float64{
+		"top_threshold_mbps": thresholdMbps,
+		"window_cycles":      float64(windowCycles),
+		"idle_frac":          idleFrac,
+	})
+}
+
+// OraclePolicy is the lookahead ablation at a TDVS design point.
+func OraclePolicy(thresholdMbps float64, windowCycles int64) PolicyConfig {
+	return NewPolicy("oracle", map[string]float64{
+		"top_threshold_mbps": thresholdMbps,
+		"window_cycles":      float64(windowCycles),
+	})
 }
 
 // RunConfig fully describes one simulation run.
@@ -150,7 +174,7 @@ func DefaultRunConfig(bench workload.Name, level traffic.Level, seed int64) (Run
 		Chip:       npu.DefaultConfig(),
 		Traffic:    tc,
 		Cycles:     8_000_000,
-		Policy:     PolicyConfig{Kind: NoDVS},
+		Policy:     PolicyConfig{},
 	}, nil
 }
 
@@ -166,27 +190,10 @@ func (c RunConfig) validate() error {
 	if c.Cycles <= 0 {
 		return fmt.Errorf("core: non-positive run length %d cycles", c.Cycles)
 	}
-	switch c.Policy.Kind {
-	case NoDVS:
-	case TDVS, OracleDVS:
-		if c.Policy.TopThresholdMbps <= 0 {
-			return fmt.Errorf("core: %v needs a positive top threshold, got %v", c.Policy.Kind, c.Policy.TopThresholdMbps)
-		}
-		if c.Policy.WindowCycles <= 0 {
-			return fmt.Errorf("core: %v needs a positive window, got %d", c.Policy.Kind, c.Policy.WindowCycles)
-		}
-	case EDVS, CombinedDVS:
-		if c.Policy.WindowCycles <= 0 {
-			return fmt.Errorf("core: %v needs a positive window, got %d", c.Policy.Kind, c.Policy.WindowCycles)
-		}
-		if c.Policy.IdleFrac <= 0 || c.Policy.IdleFrac >= 1 {
-			return fmt.Errorf("core: %v idle threshold %v outside (0, 1)", c.Policy.Kind, c.Policy.IdleFrac)
-		}
-		if c.Policy.Kind == CombinedDVS && c.Policy.TopThresholdMbps <= 0 {
-			return fmt.Errorf("core: combined policy needs a TDVS threshold")
-		}
-	default:
-		return fmt.Errorf("core: unknown policy kind %d", int(c.Policy.Kind))
+	// Policy names and parameters validate behind the registry: each
+	// factory owns its own parameter checks, so core stays policy-agnostic.
+	if err := policy.Validate(c.Policy.Name, c.Policy.Params); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -348,8 +355,17 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		return nil, nil, err
 	}
 
+	// Resolve the policy factory once; validate() above guarantees the
+	// name resolves. The factory declares whether it reads the traffic
+	// monitor, which decides the per-packet monitor-update charge.
+	fac, err := policy.Lookup(cfg.Policy.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	pparams := policy.Params(cfg.Policy.Params)
+
 	chipCfg := cfg.Chip
-	chipCfg.MonitorOverhead = cfg.Policy.Kind == TDVS || cfg.Policy.Kind == CombinedDVS || cfg.Policy.Kind == OracleDVS
+	chipCfg.MonitorOverhead = fac != nil && fac.Monitor
 
 	var sinks trace.MultiSink
 	if runner != nil {
@@ -379,7 +395,16 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 	// where the policy is built.
 	var inj *fault.Injector
 	if cfg.FaultPlan != nil {
-		scoped := cfg.FaultPlan.ForRun(cfg.Traffic.Seed, cfg.Policy.WindowCycles, cfg.Policy.TopThresholdMbps)
+		// Scope filters match on the resolved policy parameters (defaults
+		// applied), so a plan aimed at window_cycles=40000 also hits runs
+		// that rely on a factory default of 40000.
+		var scopeWindow int64
+		var scopeThreshold float64
+		if fac != nil {
+			scopeWindow = int64(fac.Param(pparams, "window_cycles"))
+			scopeThreshold = fac.Param(pparams, "top_threshold_mbps")
+		}
+		scoped := cfg.FaultPlan.ForRun(cfg.Traffic.Seed, scopeWindow, scopeThreshold)
 		inj, err = fault.NewInjector(scoped, sim.NewClock(cfg.Chip.RefMHz))
 		if err != nil {
 			return nil, nil, err
@@ -403,68 +428,29 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		pkts = gen.GenerateUntil(dur)
 	}
 
-	// Attach the DVS policy. Controllers see the chip through the fault
-	// injector's sensor tap when one is armed, so sensor misreads and stuck
-	// VF transitions act on the policy without the chip model knowing.
-	var pchip dvs.Chip = chip
+	// Attach the policy through the registry. Policies see the chip
+	// through the fault injector's sensor tap when one is armed, so sensor
+	// misreads and stuck transitions (VF or sleep) act on the policy
+	// without the chip model knowing.
+	var pchip policy.Chip = chip
 	if inj != nil {
-		pchip = dvs.Intercept(chip, inj.Tap(k))
+		pchip = policy.Intercept(chip, inj.Tap(k))
 	}
 	var policyStats func() dvs.Stats
-	switch cfg.Policy.Kind {
-	case TDVS:
-		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
+	if fac != nil {
+		inst, err := fac.New(policy.Env{
+			Kernel:   k,
+			Chip:     pchip,
+			RefMHz:   cfg.Chip.RefMHz,
+			Duration: dur,
+			Params:   pparams,
+			Spans:    cfg.Spans,
+			Packets:  pkts,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
-		ctl, err := dvs.NewTDVS(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.Hysteresis)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctl.SetSpans(cfg.Spans)
-		policyStats = ctl.Stats
-	case EDVS:
-		// EDVS shares the ladder VF rungs; thresholds are unused, so the
-		// ladder's top threshold value is immaterial.
-		ctl, err := dvs.NewEDVS(k, pchip, dvs.MustLadder(1000), cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctl.SetSpans(cfg.Spans)
-		policyStats = ctl.Stats
-	case CombinedDVS:
-		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctl, err := dvs.NewCombined(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, cfg.Policy.IdleFrac)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctl.SetSpans(cfg.Spans)
-		policyStats = ctl.Stats
-	case OracleDVS:
-		ladder, err := dvs.NewLadder(cfg.Policy.TopThresholdMbps)
-		if err != nil {
-			return nil, nil, err
-		}
-		arrivals := make([]sim.Time, len(pkts))
-		bits := make([]uint64, len(pkts))
-		for i, p := range pkts {
-			arrivals[i] = p.Arrival
-			bits[i] = p.Bits()
-		}
-		window := sim.NewClock(cfg.Chip.RefMHz).Cycles(cfg.Policy.WindowCycles)
-		vols, err := dvs.WindowVolumes(arrivals, bits, window, dur)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctl, err := dvs.NewOracle(k, pchip, ladder, cfg.Policy.WindowCycles, cfg.Chip.RefMHz, vols)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctl.SetSpans(cfg.Spans)
-		policyStats = ctl.Stats
+		policyStats = inst.Stats
 	}
 
 	if err := chip.Inject(pkts); err != nil {
@@ -593,12 +579,11 @@ func TDVSGrid(thresholds []float64, windows []int64) []Point {
 // its cache entry and result — identical to the local sweep's.
 func TDVSPointConfig(base RunConfig, pt Point) RunConfig {
 	cfg := base
-	cfg.Policy = PolicyConfig{
-		Kind:             TDVS,
-		TopThresholdMbps: pt.ThresholdMbps,
-		WindowCycles:     pt.WindowCycles,
-		Hysteresis:       base.Policy.Hysteresis,
+	p := TDVSPolicy(pt.ThresholdMbps, pt.WindowCycles)
+	if h := base.Policy.Param("hysteresis"); h != 0 {
+		p.Params["hysteresis"] = h
 	}
+	cfg.Policy = p
 	return cfg
 }
 

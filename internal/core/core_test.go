@@ -27,12 +27,17 @@ func TestValidate(t *testing.T) {
 	bad := []func(*RunConfig){
 		func(c *RunConfig) { c.Bench = "bogus" },
 		func(c *RunConfig) { c.Cycles = 0 },
-		func(c *RunConfig) { c.Policy = PolicyConfig{Kind: TDVS} },
-		func(c *RunConfig) { c.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000} },
-		func(c *RunConfig) { c.Policy = PolicyConfig{Kind: EDVS, WindowCycles: 100} },
-		func(c *RunConfig) { c.Policy = PolicyConfig{Kind: EDVS, WindowCycles: 100, IdleFrac: 2} },
-		func(c *RunConfig) { c.Policy = PolicyConfig{Kind: CombinedDVS, WindowCycles: 100, IdleFrac: 0.1} },
-		func(c *RunConfig) { c.Policy = PolicyConfig{Kind: PolicyKind(99)} },
+		func(c *RunConfig) { c.Policy = NewPolicy("tdvs", nil) },                                            // missing required params
+		func(c *RunConfig) { c.Policy = NewPolicy("tdvs", map[string]float64{"top_threshold_mbps": 1000}) }, // missing window
+		func(c *RunConfig) { c.Policy = NewPolicy("edvs", map[string]float64{"window_cycles": 100}) },       // missing idle_frac
+		func(c *RunConfig) { c.Policy = EDVSPolicy(100, 2) },                                                // idle_frac out of range
+		func(c *RunConfig) {
+			c.Policy = NewPolicy("combined", map[string]float64{"window_cycles": 100, "idle_frac": 0.1})
+		},
+		func(c *RunConfig) { c.Policy = NewPolicy("frobnicate", nil) },                  // unknown policy
+		func(c *RunConfig) { c.Policy = NewPolicy("", map[string]float64{"kp": 1}) },    // params without a policy
+		func(c *RunConfig) { c.Policy = NewPolicy("pid", map[string]float64{"qp": 1}) }, // unknown parameter
+		func(c *RunConfig) { c.Policy = NewPolicy("psm", map[string]float64{"wake_queue_frac": 1.5}) },
 	}
 	for i, mut := range bad {
 		cfg := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
@@ -72,16 +77,17 @@ func TestDefaultRunConfigLevels(t *testing.T) {
 	}
 }
 
-func TestPolicyKindString(t *testing.T) {
-	for kind, want := range map[PolicyKind]string{
-		NoDVS: "noDVS", TDVS: "TDVS", EDVS: "EDVS", CombinedDVS: "TDVS+EDVS",
+func TestPolicyConfigString(t *testing.T) {
+	for pol, want := range map[string]string{
+		"": "noDVS", "tdvs": "tdvs", "TDVS": "tdvs", "EDVS": "edvs",
+		"TDVS+EDVS": "combined", "pid": "pid", "psm": "psm",
 	} {
-		if kind.String() != want {
-			t.Errorf("%d.String() = %q, want %q", int(kind), kind.String(), want)
+		if got := NewPolicy(pol, nil).String(); got != want {
+			t.Errorf("%q.String() = %q, want %q", pol, got, want)
 		}
 	}
-	if !strings.Contains(PolicyKind(42).String(), "42") {
-		t.Error("unknown kind should render its number")
+	if got := NewPolicy("frobnicate", nil).String(); got != "frobnicate" {
+		t.Errorf("unresolvable name should render verbatim, got %q", got)
 	}
 }
 
@@ -142,7 +148,7 @@ func TestTDVSSavesPower(t *testing.T) {
 	for _, th := range []float64{800, 1400} {
 		for _, w := range []int64{20000, 80000} {
 			cfg := base
-			cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: th, WindowCycles: w}
+			cfg.Policy = TDVSPolicy(th, w)
 			res, err := Run(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -165,7 +171,7 @@ func TestSmallWindowHurtsThroughput(t *testing.T) {
 	base := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
 	run := func(w int64) *RunResult {
 		cfg := base
-		cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000, WindowCycles: w}
+		cfg.Policy = TDVSPolicy(1000, w)
 		res, err := Run(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -198,7 +204,7 @@ func TestEDVSNoPerformanceLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := base
-	cfg.Policy = PolicyConfig{Kind: EDVS, WindowCycles: 40000, IdleFrac: 0.10}
+	cfg.Policy = EDVSPolicy(40000, 0.10)
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +234,7 @@ func TestNatNoEDVSSavings(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := base
-	cfg.Policy = PolicyConfig{Kind: EDVS, WindowCycles: 40000, IdleFrac: 0.10}
+	cfg.Policy = EDVSPolicy(40000, 0.10)
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -252,7 +258,7 @@ func TestTDVSSavesMoreAtLowTraffic(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := base
-		cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+		cfg.Policy = TDVSPolicy(1000, 40000)
 		res, err := Run(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -333,8 +339,8 @@ func TestCombinedAblation(t *testing.T) {
 		}
 		return res
 	}
-	edvs := run(PolicyConfig{Kind: EDVS, WindowCycles: 40000, IdleFrac: 0.10})
-	comb := run(PolicyConfig{Kind: CombinedDVS, TopThresholdMbps: 1000, WindowCycles: 40000, IdleFrac: 0.10})
+	edvs := run(EDVSPolicy(40000, 0.10))
+	comb := run(CombinedPolicy(1000, 40000, 0.10))
 	if comb.Stats.AvgPowerW > edvs.Stats.AvgPowerW*1.02 {
 		t.Errorf("combined policy power %.3f W above EDVS %.3f W", comb.Stats.AvgPowerW, edvs.Stats.AvgPowerW)
 	}
@@ -382,16 +388,16 @@ func TestSweepTDVS(t *testing.T) {
 // the ablation.
 func TestOracleBeatsTDVSAtSmallWindows(t *testing.T) {
 	base := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
-	run := func(kind PolicyKind) *RunResult {
+	run := func(pol PolicyConfig) *RunResult {
 		cfg := base
-		cfg.Policy = PolicyConfig{Kind: kind, TopThresholdMbps: 1000, WindowCycles: 20000}
+		cfg.Policy = pol
 		res, err := Run(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	tdvs, oracle := run(TDVS), run(OracleDVS)
+	tdvs, oracle := run(TDVSPolicy(1000, 20000)), run(OraclePolicy(1000, 20000))
 	if oracle.Stats.LossFrac() >= tdvs.Stats.LossFrac() {
 		t.Errorf("oracle loss %.4f not below TDVS loss %.4f",
 			oracle.Stats.LossFrac(), tdvs.Stats.LossFrac())

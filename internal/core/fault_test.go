@@ -20,7 +20,7 @@ func faultedCfg(t *testing.T, intensity float64) RunConfig {
 	t.Helper()
 	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
 	cfg.Cycles = 600_000
-	cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000, WindowCycles: 40_000}
+	cfg.Policy = TDVSPolicy(1000, 40_000)
 	plan, err := fault.GeneratePlan(fault.Spec{
 		Seed:      42,
 		Intensity: intensity,

@@ -33,7 +33,7 @@ func timelineRun(t *testing.T, cfg RunConfig) ([]span.Event, []byte) {
 func TestTimelineDeterministic(t *testing.T) {
 	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
 	cfg.Cycles = 500_000
-	cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 1000, WindowCycles: 20_000}
+	cfg.Policy = TDVSPolicy(1000, 20_000)
 
 	ev1, b1 := timelineRun(t, cfg)
 	ev2, b2 := timelineRun(t, cfg)
@@ -61,7 +61,7 @@ func TestTimelineDeterministic(t *testing.T) {
 // counters and transition instants.
 func TestTimelineCoversChip(t *testing.T) {
 	cfg := shortCfg(t, workload.IPFwdr, traffic.LevelHigh)
-	cfg.Policy = PolicyConfig{Kind: TDVS, TopThresholdMbps: 800, WindowCycles: 20_000}
+	cfg.Policy = TDVSPolicy(800, 20_000)
 
 	events, _ := timelineRun(t, cfg)
 	execByME := map[string]int{}

@@ -196,11 +196,11 @@ func (t *TDVS) tick(at sim.Time) {
 		next = t.ladder.Clamp(t.level - 1) // scale up
 	}
 	if t.spans != nil {
-		recordWindow(t.spans, at, mbps, next, "tdvs_level")
+		RecordWindow(t.spans, at, mbps, next, "tdvs_level")
 	}
 	if next != t.level {
 		if t.spans != nil {
-			recordTransition(t.spans, at, -1, t.level, next)
+			RecordTransition(t.spans, at, -1, t.level, next)
 		}
 		t.level = next
 		t.stats.Transitions++
@@ -282,11 +282,11 @@ func (e *EDVS) tick(at sim.Time) {
 			next = e.ladder.Clamp(next - 1) // busy engine: scale up
 		}
 		if e.spans != nil {
-			e.spans.Counter(dvsTrack, e.levelCounters[i], at, float64(next))
+			e.spans.Counter(Track, e.levelCounters[i], at, float64(next))
 		}
 		if next != e.levels[i] {
 			if e.spans != nil {
-				recordTransition(e.spans, at, i, e.levels[i], next)
+				RecordTransition(e.spans, at, i, e.levels[i], next)
 			}
 			e.levels[i] = next
 			e.stats.Transitions++
@@ -360,7 +360,7 @@ func (c *Combined) tick(at sim.Time) {
 		c.tdvsLevel = c.ladder.Clamp(c.tdvsLevel - 1)
 	}
 	if c.spans != nil {
-		recordWindow(c.spans, at, mbps, c.tdvsLevel, "tdvs_level")
+		RecordWindow(c.spans, at, mbps, c.tdvsLevel, "tdvs_level")
 	}
 	// EDVS signal and per-ME application of the lower VF.
 	for i := 0; i < c.chip.NumMEs(); i++ {
@@ -379,11 +379,11 @@ func (c *Combined) tick(at sim.Time) {
 		}
 		c.stats.TimeAtLevel[c.applied[i]]++
 		if c.spans != nil {
-			c.spans.Counter(dvsTrack, c.levelCounters[i], at, float64(want))
+			c.spans.Counter(Track, c.levelCounters[i], at, float64(want))
 		}
 		if want != c.applied[i] {
 			if c.spans != nil {
-				recordTransition(c.spans, at, i, c.applied[i], want)
+				RecordTransition(c.spans, at, i, c.applied[i], want)
 			}
 			c.applied[i] = want
 			c.stats.Transitions++

@@ -83,11 +83,11 @@ func (o *Oracle) onWindow(at sim.Time) {
 	}
 	next := OracleLevel(o.ladder, o.volumes[idx])
 	if o.spans != nil {
-		recordWindow(o.spans, at, o.volumes[idx], next, "oracle_level")
+		RecordWindow(o.spans, at, o.volumes[idx], next, "oracle_level")
 	}
 	if next != o.level {
 		if o.spans != nil {
-			recordTransition(o.spans, at, -1, o.level, next)
+			RecordTransition(o.spans, at, -1, o.level, next)
 		}
 		o.level = next
 		o.stats.Transitions++

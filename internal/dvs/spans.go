@@ -12,14 +12,19 @@ import (
 // window, and marks transitions as instants. Everything recorded derives
 // from simulation state, so span streams are deterministic per config —
 // the same contract as the metrics bridges.
+//
+// The helpers are exported so policy plugins outside this package
+// (internal/policy) emit the same series shapes as the built-in
+// controllers: a per-window input counter plus a level counter, and
+// "transition" instants carrying me/from/to.
 
-// dvsTrack is the controllers' shared timeline track.
-const dvsTrack = "dvs"
+// Track is the controllers' shared timeline track.
+const Track = "dvs"
 
-// meLevelCounters precomputes per-ME counter-series names ("prefix_me0",
+// MELevelCounters precomputes per-ME counter-series names ("prefix_me0",
 // ...), since counter names must be globally unique and ticks should not
 // format strings.
-func meLevelCounters(prefix string, n int) []string {
+func MELevelCounters(prefix string, n int) []string {
 	out := make([]string, n)
 	for i := range out {
 		out[i] = fmt.Sprintf("%s_me%d", prefix, i)
@@ -36,7 +41,7 @@ func (t *TDVS) SetSpans(r *span.Recorder) { t.spans = r }
 func (e *EDVS) SetSpans(r *span.Recorder) {
 	e.spans = r
 	if r != nil && e.levelCounters == nil {
-		e.levelCounters = meLevelCounters("edvs_level", e.chip.NumMEs())
+		e.levelCounters = MELevelCounters("edvs_level", e.chip.NumMEs())
 	}
 }
 
@@ -45,7 +50,7 @@ func (e *EDVS) SetSpans(r *span.Recorder) {
 func (c *Combined) SetSpans(r *span.Recorder) {
 	c.spans = r
 	if r != nil && c.levelCounters == nil {
-		c.levelCounters = meLevelCounters("dvs_level", c.chip.NumMEs())
+		c.levelCounters = MELevelCounters("dvs_level", c.chip.NumMEs())
 	}
 }
 
@@ -53,15 +58,15 @@ func (c *Combined) SetSpans(r *span.Recorder) {
 // starts; nil (the default) disables recording.
 func (o *Oracle) SetSpans(r *span.Recorder) { o.spans = r }
 
-// recordWindow samples a window's traffic reading and chip-wide level.
-func recordWindow(r *span.Recorder, at sim.Time, mbps float64, level int, counter string) {
-	r.Counter(dvsTrack, "dvs_window_mbps", at, mbps)
-	r.Counter(dvsTrack, counter, at, float64(level))
+// RecordWindow samples a window's traffic reading and chip-wide level.
+func RecordWindow(r *span.Recorder, at sim.Time, mbps float64, level int, counter string) {
+	r.Counter(Track, "dvs_window_mbps", at, mbps)
+	r.Counter(Track, counter, at, float64(level))
 }
 
-// recordTransition marks a level change on the dvs track.
-func recordTransition(r *span.Recorder, at sim.Time, me, from, to int) {
-	r.Instant(dvsTrack, "transition", "dvs", at, map[string]float64{
+// RecordTransition marks a level change on the dvs track.
+func RecordTransition(r *span.Recorder, at sim.Time, me, from, to int) {
+	r.Instant(Track, "transition", "dvs", at, map[string]float64{
 		"me": float64(me), "from": float64(from), "to": float64(to),
 	})
 }

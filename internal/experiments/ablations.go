@@ -29,9 +29,11 @@ func AblationHysteresis(o Options) (Report, error) {
 	b.WriteString("# hysteresis\ttransitions\tpower_w\tsent_mbps\tloss\n")
 	for _, h := range []float64{0, 0.05, 0.10, 0.20} {
 		cfg := base
-		cfg.Policy = core.PolicyConfig{
-			Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 20000, Hysteresis: h,
+		pol := core.TDVSPolicy(1000, 20000)
+		if h != 0 {
+			pol.Params["hysteresis"] = h
 		}
+		cfg.Policy = pol
 		res, err := core.Run(cfg)
 		if err != nil {
 			return Report{}, err
@@ -71,7 +73,7 @@ func AblationPenalty(o Options) (Report, error) {
 			defer func() { <-sem }()
 			cfg := base
 			cfg.Chip.DVSPenalty = p
-			cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 20000}
+			cfg.Policy = core.TDVSPolicy(1000, 20000)
 			rows[i].res, rows[i].err = core.Run(cfg)
 		}()
 	}
@@ -101,10 +103,10 @@ func Summary(o Options) (Report, error) {
 	o = o.withDefaults()
 	seeds := []int64{o.Seed, o.Seed + 1, o.Seed + 2}
 	policies := []core.PolicyConfig{
-		{Kind: core.NoDVS},
-		{Kind: core.TDVS, TopThresholdMbps: 1400, WindowCycles: 40000},
-		{Kind: core.EDVS, WindowCycles: 40000, IdleFrac: 0.10},
-		{Kind: core.CombinedDVS, TopThresholdMbps: 1400, WindowCycles: 40000, IdleFrac: 0.10},
+		{},
+		core.TDVSPolicy(1400, 40000),
+		core.EDVSPolicy(40000, 0.10),
+		core.CombinedPolicy(1400, 40000, 0.10),
 	}
 	var b strings.Builder
 	b.WriteString("# bench\tpolicy\tpower_w (mean±sd)\tsent_mbps (mean±sd)\tloss (mean±sd)\n")
@@ -117,7 +119,7 @@ func Summary(o Options) (Report, error) {
 	}
 	chart.Series = make([]plot.BarSeries, len(policies))
 	for pi, pol := range policies {
-		chart.Series[pi].Name = pol.Kind.String()
+		chart.Series[pi].Name = pol.String()
 	}
 	for _, bench := range workload.All {
 		for pi, pol := range policies {
@@ -131,7 +133,7 @@ func Summary(o Options) (Report, error) {
 				return Report{}, err
 			}
 			fmt.Fprintf(&b, "%s\t%s\t%s\t%.0f ± %.0f\t%.4f ± %.4f\n",
-				bench, pol.Kind, rep.PowerW,
+				bench, pol, rep.PowerW,
 				rep.SentMbps.Mean(), rep.SentMbps.StdDev(),
 				rep.LossFrac.Mean(), rep.LossFrac.StdDev())
 			chart.Series[pi].Values = append(chart.Series[pi].Values, rep.PowerW.Mean())
@@ -163,15 +165,18 @@ func AblationOracle(o Options) (Report, error) {
 	var b strings.Builder
 	b.WriteString("# policy\twindow\ttransitions\tpower_w\tsent_mbps\tloss\n")
 	for _, w := range []int64{20000, 80000} {
-		for _, kind := range []core.PolicyKind{core.TDVS, core.OracleDVS} {
+		for _, pol := range []core.PolicyConfig{
+			core.TDVSPolicy(1000, w),
+			core.OraclePolicy(1000, w),
+		} {
 			cfg := base
-			cfg.Policy = core.PolicyConfig{Kind: kind, TopThresholdMbps: 1000, WindowCycles: w}
+			cfg.Policy = pol
 			res, err := core.Run(cfg)
 			if err != nil {
 				return Report{}, err
 			}
 			fmt.Fprintf(&b, "%s\t%dK\t%d\t%.3f\t%.0f\t%.4f\n",
-				kind, w/1000, res.DVSStats.Transitions,
+				pol, w/1000, res.DVSStats.Transitions,
 				res.Stats.AvgPowerW, res.Stats.SentMbps(), res.Stats.LossFrac())
 		}
 	}
@@ -191,10 +196,10 @@ func AblationCombined(o Options) (Report, error) {
 		return Report{}, err
 	}
 	policies := []core.PolicyConfig{
-		{Kind: core.NoDVS},
-		{Kind: core.TDVS, TopThresholdMbps: 1400, WindowCycles: 40000},
-		{Kind: core.EDVS, WindowCycles: 40000, IdleFrac: 0.10},
-		{Kind: core.CombinedDVS, TopThresholdMbps: 1400, WindowCycles: 40000, IdleFrac: 0.10},
+		{},
+		core.TDVSPolicy(1400, 40000),
+		core.EDVSPolicy(40000, 0.10),
+		core.CombinedPolicy(1400, 40000, 0.10),
 	}
 	var b strings.Builder
 	b.WriteString("# policy\tpower_w\tsent_mbps\tloss\ttransitions\n")
@@ -210,7 +215,7 @@ func AblationCombined(o Options) (Report, error) {
 			trans = res.DVSStats.Transitions
 		}
 		fmt.Fprintf(&b, "%s\t%.3f\t%.0f\t%.4f\t%d\n",
-			pol.Kind, res.Stats.AvgPowerW, res.Stats.SentMbps(), res.Stats.LossFrac(), trans)
+			pol, res.Stats.AvgPowerW, res.Stats.SentMbps(), res.Stats.LossFrac(), trans)
 	}
 	return Report{
 		ID:    "ablation-combined",

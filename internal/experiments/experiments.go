@@ -418,7 +418,7 @@ func Fig10(o Options) (Report, error) {
 			defer func() { <-sem }()
 			cfg := base
 			if runs[i].label != "noDVS" {
-				cfg.Policy = core.PolicyConfig{Kind: core.EDVS, WindowCycles: Windows[i-1], IdleFrac: 0.10}
+				cfg.Policy = core.EDVSPolicy(Windows[i-1], 0.10)
 			}
 			runs[i].res, runs[i].err = core.Run(cfg)
 		}()
@@ -460,7 +460,7 @@ func Fig10(o Options) (Report, error) {
 type Fig11Cell struct {
 	Bench  workload.Name
 	Level  traffic.Level
-	Policy core.PolicyKind
+	Policy string
 	Result *core.RunResult
 }
 
@@ -472,15 +472,15 @@ func Fig11(o Options) (Report, []Fig11Cell, error) {
 	o = o.withDefaults()
 	levels := []traffic.Level{traffic.LevelLow, traffic.LevelMedium, traffic.LevelHigh}
 	policies := []core.PolicyConfig{
-		{Kind: core.NoDVS},
-		{Kind: core.EDVS, WindowCycles: 40000, IdleFrac: 0.10},
-		{Kind: core.TDVS, TopThresholdMbps: 1400, WindowCycles: 40000},
+		{},
+		core.EDVSPolicy(40000, 0.10),
+		core.TDVSPolicy(1400, 40000),
 	}
 	var cells []Fig11Cell
 	for _, bench := range workload.All {
 		for _, lv := range levels {
 			for _, pol := range policies {
-				cells = append(cells, Fig11Cell{Bench: bench, Level: lv, Policy: pol.Kind})
+				cells = append(cells, Fig11Cell{Bench: bench, Level: lv, Policy: pol.String()})
 			}
 		}
 	}

@@ -31,7 +31,9 @@ var runCounts = map[string]int{
 
 	"summary": 4 * 4 * 3, // benchmarks × policies × seeds
 
-	"fault_sweep": 4 * 2, // intensities × policies
+	"fault_sweep": 4 * 4, // intensities × policies
+
+	"policy_compare": 4, // one run per registry policy
 
 	"sweep-url": sweepRuns,
 	"sweep-nat": sweepRuns,

@@ -30,12 +30,13 @@ func TestPlannedRuns(t *testing.T) {
 		args []string
 		want int
 	}{
-		{nil, 183},
-		{[]string{"all"}, 183},
+		{nil, 195},
+		{[]string{"all"}, 195},
 		{[]string{"fig10"}, 5},
 		{[]string{"fig6", "fig7"}, 2 * sweepRuns}, // standalone figs re-run the sweep
 		{[]string{"fig1", "idle", "summary"}, 0 + 1 + 48},
-		{[]string{"fault_sweep"}, 8},
+		{[]string{"fault_sweep"}, 16},
+		{[]string{"policy_compare"}, 4},
 		{[]string{"no-such-experiment"}, 0},
 	}
 	for _, c := range cases {

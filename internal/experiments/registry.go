@@ -63,6 +63,10 @@ var Registry = map[string]Runner{
 		r, err := FaultSweep(o)
 		return []Report{r}, err
 	},
+	"policy_compare": func(o Options) ([]Report, error) {
+		r, err := PolicyCompare(o)
+		return []Report{r}, err
+	},
 	// The paper ends §4.1 noting its optimal configuration "is specific to
 	// this particular ipfwdr application"; these repeat the full sweep for
 	// the other three benchmarks.
@@ -193,6 +197,7 @@ var allSteps = []step{
 		return benchSweep(workload.MD4)(o)
 	}},
 	{"fault_sweep", single(FaultSweep)},
+	{"policy_compare", single(PolicyCompare)},
 	{"summary", single(Summary)},
 }
 

@@ -59,15 +59,17 @@ type faultCell struct {
 }
 
 // FaultSweep runs the robustness ablation: the RobustnessFormulas presets
-// over intensities × {TDVS, EDVS}, with one deterministic fault plan per
-// intensity shared by both policies so they face identical fault schedules.
-// The report carries the per-assertion violation counts and a
+// over intensities × {TDVS, EDVS, PID, PSM}, with one deterministic fault
+// plan per intensity shared by every policy so they face identical fault
+// schedules. The report carries the per-assertion violation counts and a
 // violation-rate surface over intensity.
 func FaultSweep(o Options) (Report, error) {
 	o = o.withDefaults()
 	policies := []core.PolicyConfig{
-		{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 40000},
-		{Kind: core.EDVS, WindowCycles: 40000, IdleFrac: 0.10},
+		core.TDVSPolicy(1000, 40000),
+		core.EDVSPolicy(40000, 0.10),
+		core.NewPolicy("pid", nil),
+		core.NewPolicy("psm", nil),
 	}
 	plans := make([]*fault.Plan, len(FaultIntensities))
 	for i, in := range FaultIntensities {
@@ -124,15 +126,15 @@ func FaultSweep(o Options) (Report, error) {
 	}
 	series := make([]plot.Series, len(policies))
 	for pi, pol := range policies {
-		series[pi].Name = pol.Kind.String()
+		series[pi].Name = pol.String()
 	}
 	var detail strings.Builder
 	for ci, c := range cells {
 		if c.Err != nil {
-			return Report{}, fmt.Errorf("experiments: fault_sweep intensity %g policy %v: %w", c.Intensity, c.Policy.Kind, c.Err)
+			return Report{}, fmt.Errorf("experiments: fault_sweep intensity %g policy %v: %w", c.Intensity, c.Policy, c.Err)
 		}
 		var viol, inst int64
-		fmt.Fprintf(&detail, "## intensity %g / %s\n", c.Intensity, c.Policy.Kind)
+		fmt.Fprintf(&detail, "## intensity %g / %s\n", c.Intensity, c.Policy)
 		for _, lr := range c.Result.LOC {
 			ck := lr.Check
 			if ck == nil {
@@ -156,7 +158,7 @@ func FaultSweep(o Options) (Report, error) {
 			rate = float64(viol) / float64(inst)
 		}
 		fmt.Fprintf(&b, "%.2f\t%s\t%.3f\t%.0f\t%.4f\t%d\t%d\t%d\t%.4f\n",
-			c.Intensity, c.Policy.Kind,
+			c.Intensity, c.Policy,
 			c.Result.Stats.AvgPowerW, c.Result.Stats.SentMbps(), c.Result.Stats.LossFrac(),
 			armed, viol, inst, rate)
 		pi := ci % len(policies)
@@ -172,7 +174,7 @@ func FaultSweep(o Options) (Report, error) {
 	b.WriteString(detail.String())
 	return Report{
 		ID:     "fault_sweep",
-		Title:  "Robustness assertions under swept fault intensity (ipfwdr, TDVS 1000/40k vs EDVS 10%/40k)",
+		Title:  "Robustness assertions under swept fault intensity (ipfwdr, TDVS/EDVS/PID/PSM)",
 		Body:   b.String(),
 		Charts: []NamedChart{{Name: "fault_sweep", SVG: svg}},
 	}, nil

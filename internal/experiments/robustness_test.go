@@ -21,7 +21,7 @@ func TestRobustnessPresetsGreen(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Formulas = RobustnessFormulas()
-	cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	cfg.Policy = core.TDVSPolicy(1000, 40000)
 	res, err := core.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -81,14 +81,17 @@ func TestFaultSweepReport(t *testing.T) {
 			}
 		}
 	}
-	if want := len(FaultIntensities) * 2; rows != want {
+	if want := len(FaultIntensities) * 4; rows != want {
 		t.Errorf("%d data rows, want %d", rows, want)
 	}
-	if zeroRows != 2 {
-		t.Errorf("%d zero-intensity rows, want 2", zeroRows)
+	if zeroRows != 4 {
+		t.Errorf("%d zero-intensity rows, want 4", zeroRows)
 	}
-	// Both policies' detail sections must be present.
-	for _, h := range []string{"## intensity 0 / TDVS", "## intensity 1 / EDVS"} {
+	// Every policy's detail sections must be present, clean and faulted.
+	for _, h := range []string{
+		"## intensity 0 / tdvs", "## intensity 1 / edvs",
+		"## intensity 0 / pid", "## intensity 1 / psm",
+	} {
 		if !strings.Contains(r.Body, h) {
 			t.Errorf("body lacks %q section", h)
 		}

@@ -33,6 +33,7 @@ var DeterministicPackages = []string{
 	"internal/dvs",
 	"internal/loc",
 	"internal/npu",
+	"internal/policy",
 	"internal/power",
 	"internal/sim",
 	"internal/span",

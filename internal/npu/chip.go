@@ -127,6 +127,7 @@ func (c *Chip) FlushSpans() {
 	now := c.k.Now()
 	for _, me := range c.mes {
 		me.settleIdle(now)
+		me.settleSleep(now)
 	}
 }
 
@@ -417,6 +418,19 @@ func (c *Chip) SetAllVF(vf power.VF) {
 	}
 }
 
+// QueueOccupancy returns the RFIFO fill and capacity — the queue-pressure
+// monitor input for feedback (PID) and power-state-machine policies.
+func (c *Chip) QueueOccupancy() (used, capacity int) {
+	return len(c.rfifo), c.cfg.RFIFODepth
+}
+
+// MESleep returns microengine i's DPM state (0 awake, 1 sleep, 2 deep).
+func (c *Chip) MESleep(i int) int { return c.mes[i].SleepDepth() }
+
+// SetMESleep moves microengine i to DPM state depth (clamped to [0, 2]).
+// Entering sleep is immediate; waking applies a depth-scaled stall penalty.
+func (c *Chip) SetMESleep(i, depth int) { c.mes[i].setSleep(depth) }
+
 // --- trace emission ------------------------------------------------------
 
 // annotate fills the standard annotations at the current time.
@@ -514,6 +528,9 @@ type Stats struct {
 	MEIdleFrac    []float64
 	MEStallFrac   []float64
 	MEBusyFrac    []float64
+	MESleepFrac   []float64
+	MEDeepFrac    []float64
+	MESleepWakes  []uint64
 	MEInstr       []uint64
 	MEMemRefs     []uint64
 	MEVFChanges   []uint64
@@ -556,6 +573,11 @@ func (c *Chip) Snapshot() Stats {
 		c.meter.Base((now - c.lastBaseUpdate).Micros())
 		c.lastBaseUpdate = now
 	}
+	// Settle open sleep segments so their retention energy is in the
+	// snapshot's totals (Base is settled the same way above).
+	for _, me := range c.mes {
+		me.settleSleep(now)
+	}
 	st := Stats{
 		Now:         now,
 		PktsArrived: c.pktsArrived, PktsQueued: c.pktsQueued,
@@ -574,6 +596,9 @@ func (c *Chip) Snapshot() Stats {
 		st.MEIdleFrac = append(st.MEIdleFrac, float64(me.IdleTime())/float64(now))
 		st.MEStallFrac = append(st.MEStallFrac, float64(me.StallTime())/float64(now))
 		st.MEBusyFrac = append(st.MEBusyFrac, float64(me.BusyTime())/float64(now))
+		st.MESleepFrac = append(st.MESleepFrac, float64(me.SleepTime())/float64(now))
+		st.MEDeepFrac = append(st.MEDeepFrac, float64(me.DeepSleepTime())/float64(now))
+		st.MESleepWakes = append(st.MESleepWakes, me.SleepWakes())
 		st.MEInstr = append(st.MEInstr, me.InstrCount())
 		st.MEMemRefs = append(st.MEMemRefs, me.MemRefs())
 		st.MEVFChanges = append(st.MEVFChanges, me.VFChanges())

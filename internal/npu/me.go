@@ -70,6 +70,16 @@ type ME struct {
 	stallUntil sim.Time
 	stallTotal sim.Time
 
+	// DPM sleep state (below the VF ladder): 0 awake, 1 sleep (clock-gated,
+	// state retained), 2 deep sleep (power-gated). While asleep the ME
+	// executes nothing and accrues sleep — not idle — time; waking pays a
+	// depth-scaled transition penalty through the stall machinery.
+	sleepDepth int
+	sleepFrom  sim.Time
+	sleepTotal sim.Time
+	deepTotal  sim.Time
+	sleepWakes uint64
+
 	stepPending bool
 
 	// statistics
@@ -111,6 +121,31 @@ func (me *ME) IdleTime() sim.Time {
 
 // StallTime returns cumulative DVS-transition stall time.
 func (me *ME) StallTime() sim.Time { return me.stallTotal }
+
+// SleepDepth returns the current DPM state: 0 awake, 1 sleep, 2 deep sleep.
+func (me *ME) SleepDepth() int { return me.sleepDepth }
+
+// SleepTime returns cumulative time spent in any sleep state, settled up to
+// the current simulation time.
+func (me *ME) SleepTime() sim.Time {
+	t := me.sleepTotal
+	if now := me.chip.k.Now(); me.sleepDepth > 0 && now > me.sleepFrom {
+		t += now - me.sleepFrom
+	}
+	return t
+}
+
+// DeepSleepTime returns the cumulative deep-sleep share of SleepTime.
+func (me *ME) DeepSleepTime() sim.Time {
+	t := me.deepTotal
+	if now := me.chip.k.Now(); me.sleepDepth == 2 && now > me.sleepFrom {
+		t += now - me.sleepFrom
+	}
+	return t
+}
+
+// SleepWakes returns how many sleep→awake transitions this ME has paid for.
+func (me *ME) SleepWakes() uint64 { return me.sleepWakes }
 
 // InstrCount returns executed instruction count.
 func (me *ME) InstrCount() uint64 { return me.instrCount }
@@ -191,6 +226,84 @@ func (me *ME) settleIdle(now sim.Time) {
 	}
 }
 
+// setSleep moves the ME to DPM state depth (0 awake, 1 sleep, 2 deep
+// sleep). Entering or deepening is instantaneous — the controller gates the
+// clock at a window boundary — but waking stalls the ME for DVSPenalty
+// scaled by the depth it wakes from, charged through the same stall
+// machinery as a VF transition.
+func (me *ME) setSleep(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > 2 {
+		depth = 2
+	}
+	if depth == me.sleepDepth {
+		return
+	}
+	now := me.chip.k.Now()
+	if me.sleepDepth == 0 {
+		// Entering sleep: idle stops accruing (sleep supersedes idle).
+		me.settleIdle(now)
+		me.sleepFrom = now
+	} else {
+		me.settleSleep(now)
+	}
+	prev := me.sleepDepth
+	me.sleepDepth = depth
+	if r := me.chip.spans; r != nil {
+		r.Instant(me.vfTrack, "sleepchange", "dvs", now, map[string]float64{
+			"from": float64(prev), "to": float64(depth),
+		})
+	}
+	if depth != 0 {
+		return
+	}
+	// Wake: pay the depth-scaled latency before executing again.
+	me.sleepWakes++
+	penalty := me.chip.cfg.DVSPenalty * sim.Time(prev)
+	until := now + penalty
+	if until > me.stallUntil {
+		stallFrom := now
+		if me.stallUntil > now {
+			me.stallTotal += until - me.stallUntil
+			stallFrom = me.stallUntil
+		} else {
+			me.stallTotal += penalty
+		}
+		if r := me.chip.spans; r != nil {
+			r.Span(me.vfTrack, "stall", "dvs", stallFrom, until, nil)
+		}
+		me.stallUntil = until
+	}
+	stallCycles := sim.NewClock(me.vf.MHz).CyclesIn(penalty)
+	me.stallCycles += uint64(stallCycles)
+	me.chip.meter.StallCycles(stallCycles, me.vf)
+	me.scheduleStep(until)
+}
+
+// settleSleep accrues the open sleep segment [sleepFrom, now): residency
+// totals, retention energy for depth-1 segments (deep sleep is power-gated
+// and charges nothing), and the timeline span.
+func (me *ME) settleSleep(now sim.Time) {
+	if me.sleepDepth == 0 || now <= me.sleepFrom {
+		return
+	}
+	seg := now - me.sleepFrom
+	me.sleepTotal += seg
+	name := "sleep"
+	if me.sleepDepth == 2 {
+		me.deepTotal += seg
+		name = "deep_sleep"
+	} else {
+		me.chip.meter.SleepCycles(sim.NewClock(me.vf.MHz).CyclesIn(seg), me.vf)
+	}
+	if r := me.chip.spans; r != nil {
+		r.Span(me.vfTrack, name, "dvs", me.sleepFrom, now, nil)
+	}
+	me.sleepFrom = now
+}
+
 // scheduleStep arranges a step event no earlier than at (and never inside a
 // stall window). Only one step is ever pending.
 func (me *ME) scheduleStep(at sim.Time) {
@@ -245,6 +358,11 @@ func (me *ME) pickReady() int {
 // step executes one instruction batch. It is the only place microcode runs.
 func (me *ME) step() {
 	me.stepPending = false
+	if me.sleepDepth > 0 {
+		// Asleep: nothing executes. Memory completions still mark their
+		// contexts ready; the wake transition reschedules execution.
+		return
+	}
 	now := me.chip.k.Now()
 	if now < me.stallUntil {
 		me.scheduleStep(me.stallUntil)

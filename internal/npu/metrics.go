@@ -35,10 +35,12 @@ func (c *Chip) PublishMetrics(reg *obs.Registry) {
 		reg.Counter(p + "vf_changes").Add(me.VFChanges())
 		reg.Counter(p + "poll_ops").Add(me.PollCycles())
 		reg.Counter(p + "stall_cycles").Add(me.StallCycles())
-		// Idle/busy/stall time expressed in reference-clock cycles keeps the
-		// numbers integral and clock-independent.
+		reg.Counter(p + "sleep_wakes").Add(me.SleepWakes())
+		// Idle/busy/stall/sleep time expressed in reference-clock cycles
+		// keeps the numbers integral and clock-independent.
 		reg.Counter(p + "idle_cycles").Add(uint64(ref.CyclesIn(me.IdleTime())))
 		reg.Counter(p + "busy_cycles").Add(uint64(ref.CyclesIn(me.BusyTime())))
+		reg.Counter(p + "sleep_cycles").Add(uint64(ref.CyclesIn(me.SleepTime())))
 		stallCycles += me.StallCycles()
 	}
 	reg.Counter("npu_stall_cycles_total").Add(stallCycles)

@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"fmt"
+
+	"nepdvs/internal/dvs"
+	"nepdvs/internal/sim"
+)
+
+// The paper's controllers (and the two ablations) register here under
+// their CLI names, with the legacy core.PolicyKind strings as aliases so
+// stored configs and manifests keep resolving.
+
+func positive(name, param string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("policy: %s: %s must be positive, got %v", name, param, v)
+	}
+	return nil
+}
+
+func window(name string, p Params, f *Factory) error {
+	if w := f.Param(p, "window_cycles"); w <= 0 || w != float64(int64(w)) {
+		return fmt.Errorf("policy: %s: window_cycles must be a positive integer, got %v", name, w)
+	}
+	return nil
+}
+
+func fracOpen(name, param string, v float64) error {
+	if v <= 0 || v >= 1 {
+		return fmt.Errorf("policy: %s: %s %v outside (0, 1)", name, param, v)
+	}
+	return nil
+}
+
+func init() {
+	windowDoc := ParamDoc{Name: "window_cycles", Doc: "monitor window in reference-clock cycles", Required: true}
+	thresholdDoc := ParamDoc{Name: "top_threshold_mbps", Doc: "top-rung traffic threshold in Mbps (ladder derived per Figure 5)", Required: true}
+	idleDoc := ParamDoc{Name: "idle_frac", Doc: "per-ME idle-fraction threshold in (0, 1)", Required: true}
+
+	var tdvs, edvs, combined, oracle *Factory
+
+	tdvs = &Factory{
+		Name:    "tdvs",
+		Aliases: []string{"TDVS"},
+		Doc:     "traffic-based DVS: chip-wide VF stepped against the window's offered load",
+		Params: []ParamDoc{
+			thresholdDoc, windowDoc,
+			{Name: "hysteresis", Doc: "decision-band halfwidth in [0, 1) (0 = paper)", Default: 0},
+		},
+		Monitor: true,
+		Validate: func(p Params) error {
+			if err := positive("tdvs", "top_threshold_mbps", tdvs.Param(p, "top_threshold_mbps")); err != nil {
+				return err
+			}
+			if err := window("tdvs", p, tdvs); err != nil {
+				return err
+			}
+			if h := tdvs.Param(p, "hysteresis"); h < 0 || h >= 1 {
+				return fmt.Errorf("policy: tdvs: hysteresis %v outside [0, 1)", h)
+			}
+			return nil
+		},
+		New: func(e Env) (Instance, error) {
+			ladder, err := dvs.NewLadder(tdvs.Param(e.Params, "top_threshold_mbps"))
+			if err != nil {
+				return nil, err
+			}
+			ctl, err := dvs.NewTDVS(e.Kernel, e.Chip, ladder,
+				int64(tdvs.Param(e.Params, "window_cycles")), e.RefMHz, tdvs.Param(e.Params, "hysteresis"))
+			if err != nil {
+				return nil, err
+			}
+			ctl.SetSpans(e.Spans)
+			return ctl, nil
+		},
+	}
+	Register(tdvs)
+
+	edvs = &Factory{
+		Name:    "edvs",
+		Aliases: []string{"EDVS"},
+		Doc:     "execution-based DVS: each ME stepped against its own idle residency",
+		Params:  []ParamDoc{windowDoc, idleDoc},
+		Validate: func(p Params) error {
+			if err := window("edvs", p, edvs); err != nil {
+				return err
+			}
+			return fracOpen("edvs", "idle_frac", edvs.Param(p, "idle_frac"))
+		},
+		New: func(e Env) (Instance, error) {
+			// EDVS shares the ladder VF rungs; thresholds are unused, so
+			// the ladder's top threshold value is immaterial.
+			ctl, err := dvs.NewEDVS(e.Kernel, e.Chip, dvs.MustLadder(1000),
+				int64(edvs.Param(e.Params, "window_cycles")), e.RefMHz, edvs.Param(e.Params, "idle_frac"))
+			if err != nil {
+				return nil, err
+			}
+			ctl.SetSpans(e.Spans)
+			return ctl, nil
+		},
+	}
+	Register(edvs)
+
+	combined = &Factory{
+		Name:    "combined",
+		Aliases: []string{"TDVS+EDVS", "tdvs+edvs"},
+		Doc:     "combined ablation: per ME, the lower of the TDVS and EDVS operating points",
+		Params:  []ParamDoc{thresholdDoc, windowDoc, idleDoc},
+		Monitor: true,
+		Validate: func(p Params) error {
+			if err := positive("combined", "top_threshold_mbps", combined.Param(p, "top_threshold_mbps")); err != nil {
+				return err
+			}
+			if err := window("combined", p, combined); err != nil {
+				return err
+			}
+			return fracOpen("combined", "idle_frac", combined.Param(p, "idle_frac"))
+		},
+		New: func(e Env) (Instance, error) {
+			ladder, err := dvs.NewLadder(combined.Param(e.Params, "top_threshold_mbps"))
+			if err != nil {
+				return nil, err
+			}
+			ctl, err := dvs.NewCombined(e.Kernel, e.Chip, ladder,
+				int64(combined.Param(e.Params, "window_cycles")), e.RefMHz, combined.Param(e.Params, "idle_frac"))
+			if err != nil {
+				return nil, err
+			}
+			ctl.SetSpans(e.Spans)
+			return ctl, nil
+		},
+	}
+	Register(combined)
+
+	oracle = &Factory{
+		Name:    "oracle",
+		Aliases: []string{"oracleTDVS", "oracletdvs"},
+		Doc:     "lookahead ablation: perfect one-window-ahead traffic prediction",
+		Params:  []ParamDoc{thresholdDoc, windowDoc},
+		Monitor: true,
+		Validate: func(p Params) error {
+			if err := positive("oracle", "top_threshold_mbps", oracle.Param(p, "top_threshold_mbps")); err != nil {
+				return err
+			}
+			return window("oracle", p, oracle)
+		},
+		New: func(e Env) (Instance, error) {
+			ladder, err := dvs.NewLadder(oracle.Param(e.Params, "top_threshold_mbps"))
+			if err != nil {
+				return nil, err
+			}
+			windowCycles := int64(oracle.Param(e.Params, "window_cycles"))
+			arrivals := make([]sim.Time, len(e.Packets))
+			bits := make([]uint64, len(e.Packets))
+			for i, p := range e.Packets {
+				arrivals[i] = p.Arrival
+				bits[i] = p.Bits()
+			}
+			w := sim.NewClock(e.RefMHz).Cycles(windowCycles)
+			vols, err := dvs.WindowVolumes(arrivals, bits, w, e.Duration)
+			if err != nil {
+				return nil, err
+			}
+			ctl, err := dvs.NewOracle(e.Kernel, e.Chip, ladder, windowCycles, e.RefMHz, vols)
+			if err != nil {
+				return nil, err
+			}
+			ctl.SetSpans(e.Spans)
+			return ctl, nil
+		},
+	}
+	Register(oracle)
+}

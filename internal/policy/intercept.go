@@ -1,0 +1,44 @@
+package policy
+
+import (
+	"nepdvs/internal/dvs"
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+// Intercept wraps a chip so every policy built on the result sees the
+// fault tap's view: traffic readings pass through Tap.TrafficBits, and
+// both VF transitions and DPM sleep transitions are silently dropped when
+// Tap.TransitionAllowed refuses — a stuck regulator blocks the sleep
+// actuator the same way it blocks the ladder. Idle-time and queue
+// occupancy readings pass through unchanged: both are per-ME/chip hardware
+// state, not separately faultable monitors in our model.
+func Intercept(c Chip, t dvs.Tap) Chip { return &tappedChip{chip: c, tap: t} }
+
+type tappedChip struct {
+	chip Chip
+	tap  dvs.Tap
+}
+
+func (x *tappedChip) NumMEs() int                          { return x.chip.NumMEs() }
+func (x *tappedChip) MEIdle(i int) sim.Time                { return x.chip.MEIdle(i) }
+func (x *tappedChip) TrafficBits() uint64                  { return x.tap.TrafficBits(x.chip.TrafficBits()) }
+func (x *tappedChip) QueueOccupancy() (used, capacity int) { return x.chip.QueueOccupancy() }
+
+func (x *tappedChip) SetMEVF(i int, vf power.VF) {
+	if x.tap.TransitionAllowed(i) {
+		x.chip.SetMEVF(i, vf)
+	}
+}
+
+func (x *tappedChip) SetAllVF(vf power.VF) {
+	if x.tap.TransitionAllowed(-1) {
+		x.chip.SetAllVF(vf)
+	}
+}
+
+func (x *tappedChip) SetMESleep(i, depth int) {
+	if x.tap.TransitionAllowed(i) {
+		x.chip.SetMESleep(i, depth)
+	}
+}

@@ -1,0 +1,418 @@
+package policy
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"nepdvs/internal/power"
+	"nepdvs/internal/sim"
+)
+
+// fakeChip scripts the monitor surface and records every actuation.
+type fakeChip struct {
+	n     int
+	bits  uint64
+	idle  []sim.Time
+	used  int
+	cap   int
+	sleep []int
+	meVF  []power.VF
+	vfSet int // SetMEVF + SetAllVF invocations
+}
+
+func newFakeChip(n int) *fakeChip {
+	return &fakeChip{n: n, idle: make([]sim.Time, n), sleep: make([]int, n), meVF: make([]power.VF, n), cap: 64}
+}
+
+func (f *fakeChip) NumMEs() int                          { return f.n }
+func (f *fakeChip) TrafficBits() uint64                  { return f.bits }
+func (f *fakeChip) MEIdle(i int) sim.Time                { return f.idle[i] }
+func (f *fakeChip) QueueOccupancy() (used, capacity int) { return f.used, f.cap }
+func (f *fakeChip) SetMEVF(i int, v power.VF)            { f.meVF[i] = v; f.vfSet++ }
+func (f *fakeChip) SetMESleep(i, depth int)              { f.sleep[i] = depth }
+func (f *fakeChip) SetAllVF(v power.VF) {
+	for i := range f.meVF {
+		f.meVF[i] = v
+	}
+	f.vfSet++
+}
+
+const refMHz = 600
+
+func winDur(cycles int64) sim.Time { return sim.NewClock(refMHz).Cycles(cycles) }
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"tdvs", "edvs", "combined", "oracle", "pid", "psm"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry lacks %q: %v", want, names)
+		}
+	}
+}
+
+func TestCanonicalAliases(t *testing.T) {
+	cases := map[string]string{
+		"":           "",
+		"nodvs":      "",
+		"noDVS":      "",
+		"none":       "",
+		"tdvs":       "tdvs",
+		"TDVS":       "tdvs",
+		"EDVS":       "edvs",
+		"TDVS+EDVS":  "combined",
+		"tdvs+edvs":  "combined",
+		"oracleTDVS": "oracle",
+		"oracletdvs": "oracle",
+		"pid":        "pid",
+		"psm":        "psm",
+	}
+	for in, want := range cases {
+		got, err := Canonical(in)
+		if err != nil {
+			t.Errorf("Canonical(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalUnknown(t *testing.T) {
+	_, err := Canonical("tdv")
+	if err == nil {
+		t.Fatal("unknown policy resolved")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `did you mean "tdvs"`) {
+		t.Errorf("error lacks did-you-mean hint: %v", msg)
+	}
+	if !strings.Contains(msg, "known policies:") || !strings.Contains(msg, "nodvs") {
+		t.Errorf("error lacks known-policy list: %v", msg)
+	}
+	// Nothing within edit distance 2: no hint, list still present.
+	_, err = Canonical("quux-controller")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("distant name produced a hint: %v", err)
+	}
+}
+
+func TestLookupEmpty(t *testing.T) {
+	f, err := Lookup("")
+	if f != nil || err != nil {
+		t.Errorf("Lookup(\"\") = %v, %v; want nil, nil", f, err)
+	}
+	f, err = Lookup("nodvs")
+	if f != nil || err != nil {
+		t.Errorf("Lookup(nodvs) = %v, %v; want nil, nil", f, err)
+	}
+}
+
+// TestValidateErrors covers every policy's parameter error paths.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want string // substring of the error, "" = must pass
+	}{
+		{"", nil, ""},
+		{"", Params{"kp": 1}, "parameters given without a policy"},
+
+		{"tdvs", nil, "missing required"},
+		{"tdvs", Params{"top_threshold_mbps": 1000}, `missing required parameter "window_cycles"`},
+		{"tdvs", Params{"top_threshold_mbps": -5, "window_cycles": 100}, "must be positive"},
+		{"tdvs", Params{"top_threshold_mbps": 1000, "window_cycles": 0.5}, "positive integer"},
+		{"tdvs", Params{"top_threshold_mbps": 1000, "window_cycles": 100, "hysteresis": 1}, "hysteresis"},
+		{"tdvs", Params{"top_threshold_mbps": 1000, "window_cycles": 100}, ""},
+
+		{"edvs", Params{"window_cycles": 100}, `missing required parameter "idle_frac"`},
+		{"edvs", Params{"window_cycles": 100, "idle_frac": 1}, "outside (0, 1)"},
+		{"edvs", Params{"window_cycles": -1, "idle_frac": 0.1}, "positive integer"},
+		{"edvs", Params{"window_cycles": 100, "idle_frac": 0.1}, ""},
+
+		{"combined", Params{"window_cycles": 100, "idle_frac": 0.1}, "missing required"},
+		{"combined", Params{"top_threshold_mbps": 1000, "window_cycles": 100, "idle_frac": 0.1}, ""},
+
+		{"oracle", Params{"top_threshold_mbps": 1000}, "missing required"},
+		{"oracle", Params{"top_threshold_mbps": 0, "window_cycles": 100}, "must be positive"},
+		{"oracle", Params{"top_threshold_mbps": 1000, "window_cycles": 100}, ""},
+
+		{"pid", nil, ""}, // all defaulted
+		{"pid", Params{"kp": -1}, "non-negative"},
+		{"pid", Params{"kp": 0, "ki": 0, "kd": 0}, "all gains zero"},
+		{"pid", Params{"setpoint_frac": 0}, "outside (0, 1)"},
+		{"pid", Params{"window_cycles": 1.5}, "positive integer"},
+		{"pid", Params{"ko": 1}, `unknown parameter "ko"`},
+
+		{"psm", nil, ""},
+		{"psm", Params{"sleep_idle_frac": 1.2}, "outside (0, 1)"},
+		{"psm", Params{"wake_queue_frac": 0}, "outside (0, 1]"},
+		{"psm", Params{"deep_windows": 1.5}, "non-negative integer"},
+		{"psm", Params{"deep_windows": -1}, "non-negative integer"},
+
+		{"frobnicate", nil, "unknown policy"},
+	}
+	for _, c := range cases {
+		err := Validate(c.name, c.p)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("Validate(%q, %v): unexpected error %v", c.name, c.p, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%q, %v) = %v, want substring %q", c.name, c.p, err, c.want)
+		}
+	}
+}
+
+func TestValidateUnknownParamHint(t *testing.T) {
+	err := Validate("pid", Params{"window_cycle": 100})
+	if err == nil || !strings.Contains(err.Error(), `did you mean "window_cycles"`) {
+		t.Errorf("unknown parameter lacks did-you-mean: %v", err)
+	}
+	if !strings.Contains(err.Error(), "accepted:") {
+		t.Errorf("unknown parameter lacks accepted list: %v", err)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	// Alias resolves and the optional default is filled in.
+	name, p := Canonicalize("TDVS", Params{"top_threshold_mbps": 1000, "window_cycles": 40000})
+	if name != "tdvs" {
+		t.Errorf("name = %q", name)
+	}
+	if h, ok := p["hysteresis"]; !ok || h != 0 {
+		t.Errorf("hysteresis not defaulted: %v", p)
+	}
+	// A spelled-out default equals the elided form.
+	_, p2 := Canonicalize("tdvs", Params{"top_threshold_mbps": 1000, "window_cycles": 40000, "hysteresis": 0})
+	if len(p) != len(p2) || p["hysteresis"] != p2["hysteresis"] {
+		t.Errorf("explicit default differs: %v vs %v", p, p2)
+	}
+	// Fully defaulted policy fills everything.
+	_, p3 := Canonicalize("pid", nil)
+	for _, want := range []string{"window_cycles", "kp", "ki", "kd", "setpoint_frac"} {
+		if _, ok := p3[want]; !ok {
+			t.Errorf("pid default %q not filled: %v", want, p3)
+		}
+	}
+	// No-policy collapses to the empty config.
+	if name, p := Canonicalize("noDVS", nil); name != "" || p != nil {
+		t.Errorf("Canonicalize(noDVS) = %q, %v", name, p)
+	}
+	// Unresolvable names pass through untouched.
+	if name, p := Canonicalize("bogus", Params{"x": 1}); name != "bogus" || p["x"] != 1 {
+		t.Errorf("Canonicalize(bogus) = %q, %v", name, p)
+	}
+}
+
+func TestDescribeAll(t *testing.T) {
+	out := DescribeAll()
+	for _, want := range []string{"tdvs", "edvs", "combined", "oracle", "pid", "psm",
+		"(required)", "(default", "aliases:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DescribeAll lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// fakeTap scripts the fault view: a traffic scale and a transition gate.
+type fakeTap struct {
+	allow  bool
+	scaled uint64
+	asked  []int
+}
+
+func (f *fakeTap) TrafficBits(raw uint64) uint64 { return f.scaled }
+func (f *fakeTap) TransitionAllowed(me int) bool {
+	f.asked = append(f.asked, me)
+	return f.allow
+}
+
+func TestInterceptGating(t *testing.T) {
+	chip := newFakeChip(2)
+	chip.bits = 111
+	chip.used = 7
+	tap := &fakeTap{allow: false, scaled: 42}
+	var c Chip = Intercept(chip, tap)
+
+	if got := c.TrafficBits(); got != 42 {
+		t.Errorf("TrafficBits = %d, want the tap's 42", got)
+	}
+	if used, capacity := c.QueueOccupancy(); used != 7 || capacity != 64 {
+		t.Errorf("QueueOccupancy = %d/%d, want passthrough 7/64", used, capacity)
+	}
+
+	// Blocked: nothing reaches the chip.
+	vf := power.VF{MHz: 400, Volts: 1.1}
+	c.SetMEVF(0, vf)
+	c.SetAllVF(vf)
+	c.SetMESleep(1, 2)
+	if chip.vfSet != 0 || chip.sleep[1] != 0 {
+		t.Errorf("blocked transitions reached the chip: vfSet=%d sleep=%v", chip.vfSet, chip.sleep)
+	}
+	if len(tap.asked) != 3 || tap.asked[0] != 0 || tap.asked[1] != -1 || tap.asked[2] != 1 {
+		t.Errorf("tap consulted with %v, want [0 -1 1]", tap.asked)
+	}
+
+	// Allowed: everything passes.
+	tap.allow = true
+	c.SetMEVF(0, vf)
+	c.SetAllVF(vf)
+	c.SetMESleep(1, 2)
+	if chip.vfSet != 2 || chip.sleep[1] != 2 {
+		t.Errorf("allowed transitions dropped: vfSet=%d sleep=%v", chip.vfSet, chip.sleep)
+	}
+}
+
+// buildInstance resolves and constructs a policy on a fresh kernel/chip.
+func buildInstance(t *testing.T, k *sim.Kernel, chip Chip, name string, p Params) Instance {
+	t.Helper()
+	fac, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(name, p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := fac.New(Env{Kernel: k, Chip: chip, RefMHz: refMHz, Duration: winDur(1_000_000), Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPIDScalesWithQueueError(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(6)
+	inst := buildInstance(t, &k, chip, "pid", Params{"window_cycles": 20000})
+	defer inst.Stop()
+	w := winDur(20000)
+
+	// Empty queue: the error is negative, the controller scales down.
+	chip.used = 0
+	for win := 1; win <= 4; win++ {
+		k.RunUntil(w * sim.Time(win))
+	}
+	if chip.meVF[0].MHz >= 600 || chip.vfSet == 0 {
+		t.Fatalf("empty queue left the chip at %v MHz after 4 windows", chip.meVF[0].MHz)
+	}
+
+	// Full queue: large positive error jumps straight back to full speed.
+	chip.used = chip.cap
+	k.RunUntil(w * 5)
+	if chip.meVF[0].MHz != 600 {
+		t.Errorf("full queue left the chip at %v MHz, want 600", chip.meVF[0].MHz)
+	}
+
+	st := inst.Stats()
+	if st.Windows != 5 {
+		t.Errorf("windows = %d, want 5", st.Windows)
+	}
+	if st.Transitions < 2 {
+		t.Errorf("transitions = %d, want at least down+up", st.Transitions)
+	}
+	var at uint64
+	for _, n := range st.TimeAtLevel {
+		at += n
+	}
+	if at != st.Windows*uint64(chip.n)/uint64(chip.n) && at != st.Windows {
+		t.Errorf("TimeAtLevel sums to %d, want %d", at, st.Windows)
+	}
+}
+
+func TestPSMSleepDeepenWake(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(4)
+	inst := buildInstance(t, &k, chip, "psm", Params{"window_cycles": 20000, "deep_windows": 3})
+	defer inst.Stop()
+	w := winDur(20000)
+
+	idleWindow := func(win int) {
+		for i := range chip.idle {
+			chip.idle[i] += w
+		}
+		k.RunUntil(w * sim.Time(win))
+	}
+
+	// Window 1: fully idle MEs are put to sleep.
+	idleWindow(1)
+	if chip.sleep[0] != 1 {
+		t.Fatalf("idle ME not asleep after window 1: %v", chip.sleep)
+	}
+	// Three more asleep windows: deepened to power gating.
+	for win := 2; win <= 4; win++ {
+		idleWindow(win)
+	}
+	if chip.sleep[0] != 2 {
+		t.Errorf("ME not in deep sleep after %d asleep windows: %v", 3, chip.sleep)
+	}
+	// Queue pressure wakes the whole complex.
+	chip.used = chip.cap
+	idleWindow(5)
+	for i, d := range chip.sleep {
+		if d != 0 {
+			t.Errorf("ME%d still at depth %d after queue-pressure wake", i, d)
+		}
+	}
+	st := inst.Stats()
+	if st.Windows != 5 {
+		t.Errorf("windows = %d, want 5", st.Windows)
+	}
+	// Per ME: awake→sleep, sleep→deep, deep→awake.
+	if want := uint64(3 * chip.n); st.Transitions != want {
+		t.Errorf("transitions = %d, want %d", st.Transitions, want)
+	}
+	if len(st.TimeAtLevel) != 3 {
+		t.Errorf("TimeAtLevel has %d states, want 3", len(st.TimeAtLevel))
+	}
+}
+
+func TestPSMNeverTouchesVF(t *testing.T) {
+	var k sim.Kernel
+	chip := newFakeChip(2)
+	inst := buildInstance(t, &k, chip, "psm", nil)
+	defer inst.Stop()
+	w := winDur(40000)
+	for win := 1; win <= 6; win++ {
+		for i := range chip.idle {
+			chip.idle[i] += w
+		}
+		k.RunUntil(w * sim.Time(win))
+	}
+	if chip.vfSet != 0 {
+		t.Errorf("psm issued %d VF transitions; it must only use the sleep actuator", chip.vfSet)
+	}
+}
+
+// FuzzPolicyValidate: no parameter set may panic the validator or the
+// canonicalizer, and canonicalizing a valid set must stay valid.
+func FuzzPolicyValidate(f *testing.F) {
+	f.Add("tdvs", "top_threshold_mbps", 1000.0, 40000.0)
+	f.Add("pid", "kp", -1.0, 0.0)
+	f.Add("psm", "deep_windows", 1.5, -3.0)
+	f.Add("", "x", 0.0, 0.0)
+	f.Add("TDVS+EDVS", "idle_frac", 0.1, 1e300)
+	f.Fuzz(func(t *testing.T, name, key string, v, w float64) {
+		p := Params{key: v, "window_cycles": w}
+		err := Validate(name, p)
+		cname, cp := Canonicalize(name, p)
+		if err == nil {
+			if err2 := Validate(cname, cp); err2 != nil {
+				t.Fatalf("canonicalized form of valid (%q, %v) invalid: %v", name, p, err2)
+			}
+		}
+		_, _ = Canonical(name)
+	})
+}

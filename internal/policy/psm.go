@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"fmt"
+
+	"nepdvs/internal/dvs"
+	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
+)
+
+// psm is a dynamic power management policy after Conti's power-state
+// machine: instead of walking the VF ladder, each ME is driven through
+// awake → sleep → deep-sleep states below the ladder. An ME whose window
+// idle residency exceeds the sleep threshold is clock-gated (retention
+// energy only); after enough consecutive asleep windows it is power-gated
+// (free). Queue pressure wakes the whole complex at once, paying the
+// depth-scaled wake latency through the chip's transition-penalty model —
+// the latency-vs-leakage tradeoff DPM papers turn on.
+//
+// VF is untouched: psm composes the orthogonal knob to DVS, which is
+// exactly why it earns a row in the policy_compare figure.
+
+// psm states.
+const (
+	psmAwake = iota
+	psmSleep
+	psmDeep
+	psmStates
+)
+
+type psmPolicy struct {
+	chip   Chip
+	window sim.Time
+
+	sleepIdleFrac float64
+	wakeQueueFrac float64
+	deepWindows   int
+
+	states    []int
+	asleepFor []int // consecutive windows spent asleep, per ME
+	lastIdle  []sim.Time
+
+	ticker *sim.Ticker
+	stats  dvs.Stats
+	spans  *span.Recorder
+	// perMEState are the precomputed "psm_state_me%d" counter names.
+	perMEState []string
+}
+
+func (p *psmPolicy) Stats() dvs.Stats { return p.stats }
+func (p *psmPolicy) Stop()            { p.ticker.Stop() }
+
+func (p *psmPolicy) tick(at sim.Time) {
+	used, capacity := p.chip.QueueOccupancy()
+	qfrac := float64(used) / float64(capacity)
+	wakeAll := qfrac >= p.wakeQueueFrac
+	p.stats.Windows++
+	if p.spans != nil {
+		p.spans.Counter(dvs.Track, "psm_queue_frac", at, qfrac)
+	}
+	for i := range p.states {
+		idle := p.chip.MEIdle(i)
+		frac := float64(idle-p.lastIdle[i]) / float64(p.window)
+		p.lastIdle[i] = idle
+		p.stats.TimeAtLevel[p.states[i]]++
+
+		next := p.states[i]
+		switch {
+		case wakeAll:
+			next = psmAwake
+		case p.states[i] == psmAwake:
+			if frac > p.sleepIdleFrac {
+				next = psmSleep
+			}
+		default:
+			// Asleep and no queue pressure: stay down, deepening after
+			// deep_windows consecutive windows (0 disables deep sleep).
+			p.asleepFor[i]++
+			if p.deepWindows > 0 && p.asleepFor[i] >= p.deepWindows {
+				next = psmDeep
+			}
+		}
+		if next == psmAwake {
+			p.asleepFor[i] = 0
+		}
+		if p.spans != nil {
+			p.spans.Counter(dvs.Track, p.perMEState[i], at, float64(next))
+		}
+		if next != p.states[i] {
+			if p.spans != nil {
+				dvs.RecordTransition(p.spans, at, i, p.states[i], next)
+			}
+			p.states[i] = next
+			p.stats.Transitions++
+			p.chip.SetMESleep(i, next)
+		}
+	}
+}
+
+func init() {
+	var psm *Factory
+	psm = &Factory{
+		Name: "psm",
+		Doc:  "power-state machine (Conti): per-ME sleep/deep-sleep below the VF ladder, woken by queue pressure",
+		Params: []ParamDoc{
+			{Name: "window_cycles", Doc: "state-machine period in reference-clock cycles", Default: 40000},
+			{Name: "sleep_idle_frac", Doc: "window idle fraction in (0, 1) above which an awake ME sleeps", Default: 0.20},
+			{Name: "wake_queue_frac", Doc: "queue fill fraction in (0, 1] that wakes every ME", Default: 0.25},
+			{Name: "deep_windows", Doc: "consecutive asleep windows before deep sleep (0 = never)", Default: 4},
+		},
+		Validate: func(p Params) error {
+			if err := window("psm", p, psm); err != nil {
+				return err
+			}
+			if err := fracOpen("psm", "sleep_idle_frac", psm.Param(p, "sleep_idle_frac")); err != nil {
+				return err
+			}
+			if w := psm.Param(p, "wake_queue_frac"); w <= 0 || w > 1 {
+				return fmt.Errorf("policy: psm: wake_queue_frac %v outside (0, 1]", w)
+			}
+			if d := psm.Param(p, "deep_windows"); d < 0 || d != float64(int(d)) {
+				return fmt.Errorf("policy: psm: deep_windows must be a non-negative integer, got %v", d)
+			}
+			return nil
+		},
+		New: func(e Env) (Instance, error) {
+			window := sim.NewClock(e.RefMHz).Cycles(int64(psm.Param(e.Params, "window_cycles")))
+			if window <= 0 {
+				return nil, fmt.Errorf("policy: psm: empty state-machine period")
+			}
+			n := e.Chip.NumMEs()
+			ctl := &psmPolicy{
+				chip:          e.Chip,
+				window:        window,
+				sleepIdleFrac: psm.Param(e.Params, "sleep_idle_frac"),
+				wakeQueueFrac: psm.Param(e.Params, "wake_queue_frac"),
+				deepWindows:   int(psm.Param(e.Params, "deep_windows")),
+				states:        make([]int, n),
+				asleepFor:     make([]int, n),
+				lastIdle:      make([]sim.Time, n),
+				spans:         e.Spans,
+			}
+			if e.Spans != nil {
+				ctl.perMEState = dvs.MELevelCounters("psm_state", n)
+			}
+			ctl.stats.TimeAtLevel = make([]uint64, psmStates)
+			ctl.ticker = sim.NewTicker(e.Kernel, window, ctl.tick)
+			return ctl, nil
+		},
+	}
+	Register(psm)
+}

@@ -48,6 +48,10 @@ type Params struct {
 	// MEStallCycle is the energy per cycle while stalled for a DVS
 	// transition (PLL relock; clocks gated, lower than idle).
 	MEStallCycle float64
+	// MESleepCycle is the energy per cycle while an ME sits in a DPM
+	// sleep state (clocks gated, state retained; below stall). Deep sleep
+	// charges nothing — state is flushed and the domain power-gated.
+	MESleepCycle float64
 	// SramWord / SdramWord / ScratchWord are per-word access energies in
 	// the fixed-voltage memory domains.
 	SramWord    float64
@@ -68,9 +72,11 @@ func DefaultParams() Params {
 	return Params{
 		// 6 MEs × 600 Minstr/s × MEInstr µJ ≈ 1.26 W of ME dynamic power
 		// when fully busy; memory and base power make up the rest.
-		MEInstr:       4.3e-4,
-		MEIdleCycle:   1.3e-4, // ~30% of an instruction's energy
-		MEStallCycle:  0.43e-4,
+		MEInstr:      4.3e-4,
+		MEIdleCycle:  1.3e-4, // ~30% of an instruction's energy
+		MEStallCycle: 0.43e-4,
+		MESleepCycle: 0.13e-4, // ~10% of idle: retention only
+
 		SramWord:      1.2e-3,
 		SdramWord:     2.1e-3,
 		ScratchWord:   0.4e-3,
@@ -86,6 +92,7 @@ func (p Params) Validate() error {
 		v    float64
 	}{
 		{"MEInstr", p.MEInstr}, {"MEIdleCycle", p.MEIdleCycle}, {"MEStallCycle", p.MEStallCycle},
+		{"MESleepCycle", p.MESleepCycle},
 		{"SramWord", p.SramWord}, {"SdramWord", p.SdramWord}, {"ScratchWord", p.ScratchWord},
 		{"MonitorUpdate", p.MonitorUpdate}, {"BasePower", p.BasePower},
 	} {
@@ -107,6 +114,7 @@ type Meter struct {
 	meDynamic float64
 	meIdle    float64
 	meStall   float64
+	meSleep   float64
 	sram      float64
 	sdram     float64
 	scratch   float64
@@ -140,6 +148,12 @@ func (m *Meter) StallCycles(n int64, vf VF) {
 	m.meStall += float64(n) * m.params.MEStallCycle * vf.EnergyScale()
 }
 
+// SleepCycles charges n DPM sleep-state cycles at operating point vf.
+// Deep-sleep residency is free (power-gated) and is not charged here.
+func (m *Meter) SleepCycles(n int64, vf VF) {
+	m.meSleep += float64(n) * m.params.MESleepCycle * vf.EnergyScale()
+}
+
 // Sram charges an n-word SRAM access.
 func (m *Meter) Sram(n int64) { m.sram += float64(n) * m.params.SramWord }
 
@@ -157,19 +171,19 @@ func (m *Meter) Base(us float64) { m.base += m.params.BasePower * us }
 
 // Total returns cumulative energy in microjoules.
 func (m *Meter) Total() float64 {
-	return m.meDynamic + m.meIdle + m.meStall + m.sram + m.sdram + m.scratch + m.monitor + m.base
+	return m.meDynamic + m.meIdle + m.meStall + m.meSleep + m.sram + m.sdram + m.scratch + m.monitor + m.base
 }
 
 // Breakdown reports cumulative microjoules per category.
 type Breakdown struct {
-	MEDynamic, MEIdle, MEStall          float64
+	MEDynamic, MEIdle, MEStall, MESleep float64
 	Sram, Sdram, Scratch, Monitor, Base float64
 }
 
 // Breakdown returns the per-category energy split.
 func (m *Meter) Breakdown() Breakdown {
 	return Breakdown{
-		MEDynamic: m.meDynamic, MEIdle: m.meIdle, MEStall: m.meStall,
+		MEDynamic: m.meDynamic, MEIdle: m.meIdle, MEStall: m.meStall, MESleep: m.meSleep,
 		Sram: m.sram, Sdram: m.sdram, Scratch: m.scratch, Monitor: m.monitor, Base: m.base,
 	}
 }

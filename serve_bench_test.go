@@ -96,7 +96,7 @@ func BenchmarkCacheHit(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg.Cycles = *benchCycles
-	cfg.Policy = core.PolicyConfig{Kind: core.TDVS, TopThresholdMbps: 1000, WindowCycles: 40000}
+	cfg.Policy = core.TDVSPolicy(1000, 40000)
 	if _, err := core.Run(cfg); err != nil {
 		b.Fatal(err)
 	}
