@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check lint fuzz bench bench-obs bench-serve bench-baseline bench-gate profile serve-smoke serve-cluster-smoke timeline-smoke
+.PHONY: build vet test race check lint fuzz bench bench-obs bench-serve bench-baseline bench-gate profile serve-smoke serve-cluster-smoke timeline-smoke assert-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLOCLexer -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzLOCParse -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzFormulaLint -fuzztime=$(FUZZTIME) ./internal/loc/
+	$(GO) test -fuzz=FuzzWitnessRender -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzAsmLint -fuzztime=$(FUZZTIME) ./internal/isa/
 	$(GO) test -fuzz=FuzzPolicyValidate -fuzztime=$(FUZZTIME) ./internal/policy/
 
@@ -62,12 +63,12 @@ bench-serve:
 
 # The regression gate (DESIGN.md §14). GATE_BENCHES covers the heaviest
 # end-to-end paths — the Figure 6 pipeline, the idle study, the shared §4.1
-# sweep — plus the registry-policy tick hot path. GATE_COUNT repeats give
-# the trajectory medians their noise immunity; GATE_THRESHOLD is
-# deliberately generous because CI machines vary — the gate exists to catch
-# order-of-magnitude mistakes (accidental O(n²), a dropped cache), not 10%
-# drift.
-GATE_BENCHES ?= BenchmarkFig6$$|BenchmarkIdleStudy$$|BenchmarkTDVSSweep$$|BenchmarkPolicyTick$$
+# sweep — plus the registry-policy tick hot path and the streaming LOC
+# checker with witness capture. GATE_COUNT repeats give the trajectory
+# medians their noise immunity; GATE_THRESHOLD is deliberately generous
+# because CI machines vary — the gate exists to catch order-of-magnitude
+# mistakes (accidental O(n²), a dropped cache), not 10% drift.
+GATE_BENCHES ?= BenchmarkFig6$$|BenchmarkIdleStudy$$|BenchmarkTDVSSweep$$|BenchmarkPolicyTick$$|BenchmarkLOCCheck$$
 GATE_COUNT ?= 5
 GATE_CYCLES ?= 200000
 GATE_THRESHOLD ?= 40
@@ -116,3 +117,10 @@ serve-cluster-smoke:
 # a tracestat -json/-timeline round trip.
 timeline-smoke:
 	sh scripts/timeline_smoke.sh
+
+# Assertion smoke: a deliberately violating LOC preset driven through nepsim
+# and locheck, validating the report JSON schema, byte-identity of the
+# VM-evaluated and locgen-generated witness reports, assertion instants in
+# the timeline, and rerun determinism.
+assert-smoke:
+	sh scripts/assert_smoke.sh

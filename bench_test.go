@@ -29,14 +29,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"nepdvs/internal/core"
 	"nepdvs/internal/experiments"
+	"nepdvs/internal/loc"
 	"nepdvs/internal/obs"
 	"nepdvs/internal/perf"
+	"nepdvs/internal/trace"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
@@ -239,6 +242,80 @@ func BenchmarkPolicyTick(b *testing.B) {
 		}
 	}
 	s.end(b.Name(), reg)
+}
+
+// BenchmarkLOCCheck measures the streaming assertion checker with full
+// witness capture over a large stored NPT1 binary trace: a checker that
+// violates periodically (so provenance, worst-offender and density tracking
+// all run) plus a windowed throughput check that stresses ring retention.
+// The per-op cost gates the witness machinery's overhead on the trace-replay
+// path against the committed baseline.
+func BenchmarkLOCCheck(b *testing.B) {
+	// Store the trace once: one forward event per 60 reference cycles,
+	// scaled by -benchcycles like the simulation benches.
+	n := int(*benchCycles / 60)
+	path := filepath.Join(b.TempDir(), "bench.npt")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := trace.NewBinaryWriter(f)
+	ev := trace.Event{Name: "forward"}
+	for k := 0; k < n; k++ {
+		ev.Cycle = uint64(60 * k)
+		ev.Time = float64(ev.Cycle) / 600
+		ev.Energy = 0.1 * float64(k)
+		ev.TotalPkt = uint64(k + 1)
+		ev.TotalBit = uint64(k+1) * 8000
+		if err := bw.Emit(&ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+
+	fs, err := loc.ParseFile(`
+spacing: cycle(forward[i+1]) - cycle(forward[i]) < 60;
+tput: (total_bit(forward[i+100]) - total_bit(forward[i])) / 1000000 / ((time(forward[i+100]) - time(forward[i])) / 1000000) >= 40;
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cs []*loc.Compiled
+	for _, fl := range fs {
+		c, err := loc.Compile(fl, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := beginSample(b.N)
+	for i := 0; i < b.N; i++ {
+		in, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := trace.OpenSource(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := loc.Run(src, loc.RunnerOptions{}, cs...)
+		in.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The spacing check violates on every instance: witness capture up
+		// to the retention cap, worst/density on all of them.
+		if results[0].Check.Total == 0 || len(results[0].Check.Violations) == 0 {
+			b.Fatal("spacing check unexpectedly passed; the bench is not exercising witness capture")
+		}
+	}
+	s.end(b.Name(), nil)
 }
 
 // BenchmarkTDVSSweep measures the shared §4.1 sweep that Figures 6–9 are

@@ -6,6 +6,7 @@ package nepdvs
 // Skipped in -short mode.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -94,6 +95,118 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "cdf") {
 		t.Errorf("locheck dist output:\n%s", out)
 	}
+}
+
+// TestCLIAssertionReport pins the -report / -assertions contract: the exit
+// codes documented in the locheck doc comment, the report being written even
+// when the assertion fails (exit 1), and the schema of the JSON artifact.
+func TestCLIAssertionReport(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	tracePath := filepath.Join(work, "run.trc")
+	locheck := filepath.Join(bins, "locheck")
+
+	out, err := runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-cycles", "600000", "-trace", tracePath)
+	if err != nil {
+		t.Fatalf("nepsim: %v\n%s", err, out)
+	}
+
+	exitCode := func(err error) int {
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		return -1
+	}
+	readReport := func(path string) map[string]any {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("report not written: %v", err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatalf("report not JSON: %v\n%s", err, b)
+		}
+		if rep["schema"] != float64(1) {
+			t.Fatalf("report schema = %v, want 1", rep["schema"])
+		}
+		return rep
+	}
+
+	// Passing check: exit 0, report written with verdict pass.
+	passRep := filepath.Join(work, "pass.json")
+	out, err = runTool(t, locheck, "-e", "total_pkt(forward[i]) == i + 1",
+		"-report", passRep, tracePath)
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("pass case exit = %d, want 0\n%s", code, out)
+	}
+	if rep := readReport(passRep); !strings.Contains(string(mustJSON(t, rep)), `"verdict":"pass"`) {
+		t.Errorf("pass report verdict:\n%v", rep)
+	}
+
+	// Failing check: exit 1 and the report is still written, with witnesses.
+	failRep := filepath.Join(work, "fail.json")
+	out, err = runTool(t, locheck, "-e", "energy(forward[i+1]) - energy(forward[i]) <= 0",
+		"-report", failRep, tracePath)
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("fail case exit = %d, want 1\n%s", code, out)
+	}
+	failJSON := string(mustJSON(t, readReport(failRep)))
+	for _, want := range []string{`"verdict":"fail"`, `"witness":`, `"worst":`, `"density":`} {
+		if !strings.Contains(failJSON, want) {
+			t.Errorf("fail report missing %s:\n%s", want, failJSON)
+		}
+	}
+
+	// Unwritable report path: exit 4 (I/O), not 1.
+	out, err = runTool(t, locheck, "-e", "total_pkt(forward[i]) == i + 1",
+		"-report", filepath.Join(work, "no-such-dir", "r.json"), tracePath)
+	if code := exitCode(err); code != 4 {
+		t.Fatalf("unwritable report exit = %d, want 4\n%s", code, out)
+	}
+
+	// -lint with -report is a usage error: exit 2.
+	out, err = runTool(t, locheck, "-lint", "-e", "total_pkt(forward[i]) == i + 1",
+		"-report", filepath.Join(work, "r.json"))
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("-lint -report exit = %d, want 2\n%s", code, out)
+	}
+
+	// nepsim -assertions requires -formulas.
+	out, err = runTool(t, filepath.Join(bins, "nepsim"),
+		"-cycles", "100000", "-assertions", filepath.Join(work, "a.json"))
+	if exitCode(err) == 0 {
+		t.Fatalf("nepsim -assertions without -formulas succeeded:\n%s", out)
+	}
+
+	// nepsim evaluates formulas live and writes the same report shape.
+	formulas := filepath.Join(work, "f.loc")
+	if err := os.WriteFile(formulas,
+		[]byte("order: cycle(forward[i+1]) - cycle(forward[i]) >= 0;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simRep := filepath.Join(work, "sim.json")
+	out, err = runTool(t, filepath.Join(bins, "nepsim"),
+		"-bench", "ipfwdr", "-cycles", "600000", "-formulas", formulas, "-assertions", simRep)
+	if err != nil {
+		t.Fatalf("nepsim -assertions: %v\n%s", err, out)
+	}
+	if rep := readReport(simRep); !strings.Contains(string(mustJSON(t, rep)), `"name":"order"`) {
+		t.Errorf("nepsim report:\n%v", rep)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestCLITrafficReplay(t *testing.T) {

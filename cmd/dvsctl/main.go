@@ -16,6 +16,7 @@
 //	wait     block until a job finishes
 //	fetch    download a finished job's result.json
 //	timeline download a finished job's stage timeline (Perfetto JSON)
+//	assertions download a finished job's assertion report (loc.Report JSON)
 //	cancel   cancel a job
 //	health   check the daemon is up
 //	metrics  dump the daemon's Prometheus metrics
@@ -70,7 +71,7 @@ func main() {
 	reqID := flag.String("request-id", "", "X-Request-ID to send (default: mint one per invocation)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dvsctl [-addr host:port] <command> [flags]\n")
-		fmt.Fprintf(os.Stderr, "commands: config run sweep jobs status wait fetch timeline cancel health metrics\n")
+		fmt.Fprintf(os.Stderr, "commands: config run sweep jobs status wait fetch timeline assertions cancel health metrics\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -103,6 +104,8 @@ func main() {
 		err = cmdFetch(c, rest)
 	case "timeline":
 		err = cmdTimeline(c, rest)
+	case "assertions":
+		err = cmdAssertions(c, rest)
 	case "cancel":
 		err = cmdCancel(c, rest)
 	case "health":
@@ -463,6 +466,33 @@ func cmdTimeline(c client, args []string) error {
 	}
 	var raw []byte
 	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/timeline", nil, &raw); err != nil {
+		return err
+	}
+	if *out == "" || *out == "-" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dvsctl: wrote %s (%d bytes)\n", *out, len(raw))
+	return nil
+}
+
+// cmdAssertions downloads a finished job's assertion report: per-formula
+// verdicts, violation witnesses, worst offender and violation density
+// (loc.Report JSON, byte-identical to the local locheck -report output for
+// the same run).
+func cmdAssertions(c client, args []string) error {
+	fs := flag.NewFlagSet("dvsctl assertions", flag.ExitOnError)
+	out := fs.String("out", "-", "destination file (- = stdout)")
+	fs.Parse(args)
+	id, err := oneID("assertions", fs.Args())
+	if err != nil {
+		return err
+	}
+	var raw []byte
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/assertions", nil, &raw); err != nil {
 		return err
 	}
 	if *out == "" || *out == "-" {

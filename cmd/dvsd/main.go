@@ -142,7 +142,10 @@ func run(o options, rawArgs []string) error {
 		log.Info("federation enabled", "node", o.node, "peers", len(peers))
 	}
 
-	qopts := jobs.Options{Workers: o.workers, Capacity: o.queueCap, Registry: reg, Logger: log}
+	// RunMetrics folds per-run simulation counters — including the
+	// per-formula loc_* assertion metrics and the loc_eval_seconds latency
+	// histogram — into this daemon's /metrics registry.
+	qopts := jobs.Options{Workers: o.workers, Capacity: o.queueCap, Registry: reg, RunMetrics: reg, Logger: log}
 	if pool != nil {
 		qopts.Exec = federation.Executor(pool)
 	}

@@ -164,6 +164,18 @@ func run(cycles int64, par int, seed int64, outdir, metricsDir string, quiet boo
 				outputs = append(outputs, svgPath)
 				fmt.Printf("wrote %s\n", svgPath)
 			}
+			if r.Assertions != nil {
+				ab, err := r.Assertions.JSON()
+				if err != nil {
+					return err
+				}
+				aPath := filepath.Join(outdir, r.ID+".assertions.json")
+				if err := obs.AtomicWriteFile(aPath, ab, 0o644); err != nil {
+					return err
+				}
+				outputs = append(outputs, aPath)
+				fmt.Printf("wrote %s\n", aPath)
+			}
 		}
 	} else {
 		for _, r := range reports {

@@ -8,12 +8,22 @@
 //
 //	locheck -e 'cycle(deq[i]) - cycle(enq[i]) <= 50' run.trc
 //	locheck -f formulas.loc run.trc
+//	locheck -f formulas.loc -report report.json run.trc
 //	locheck -lint -f formulas.loc
 //	nepsim -trace /dev/stdout | locheck -f formulas.loc
 //
-// Exit status: 0 when all checkers pass (or -lint finds nothing), 1 on
-// assertion failure, 2 on usage or parse errors, 3 on lint findings,
-// 4 on I/O errors.
+// With -report PATH the unified assertion report (loc.Report JSON: verdicts,
+// violation witnesses, worst offender, violation density) is additionally
+// written to PATH; the exit status is unchanged by the flag itself.
+//
+// Exit status:
+//
+//	0  all checkers pass (or -lint finds nothing); with -report, the
+//	   report was written
+//	1  assertion failure (the report, if requested, is still written)
+//	2  usage or parse errors
+//	3  lint findings
+//	4  I/O errors (unreadable formulas or trace, unwritable -report path)
 package main
 
 import (
@@ -35,9 +45,10 @@ func main() {
 		file     = flag.String("f", "", "formula file")
 		noSchema = flag.Bool("no-schema", false, "skip annotation-name checking against the standard trace schema")
 		lintOnly = flag.Bool("lint", false, "statically lint the formulas and exit without reading a trace")
+		report   = flag.String("report", "", "write the assertion report JSON to this file")
 	)
 	flag.Parse()
-	code, err := run(*expr, *file, *noSchema, *lintOnly, flag.Args())
+	code, err := run(*expr, *file, *noSchema, *lintOnly, *report, flag.Args())
 	if err != nil {
 		// I/O failures (unreadable formula file or trace) exit 4; everything
 		// else reaching here is a usage or parse problem and exits 2.
@@ -50,7 +61,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(expr, file string, noSchema, lintOnly bool, args []string) (int, error) {
+func run(expr, file string, noSchema, lintOnly bool, report string, args []string) (int, error) {
 	src := expr
 	if file != "" {
 		if src != "" {
@@ -70,6 +81,9 @@ func run(expr, file string, noSchema, lintOnly bool, args []string) (int, error)
 		schema = nil
 	}
 	if lintOnly {
+		if report != "" {
+			return 0, fmt.Errorf("-lint evaluates no trace; -report has nothing to write")
+		}
 		return lint(src, schema, args)
 	}
 	in := os.Stdin
@@ -97,6 +111,16 @@ func run(expr, file string, noSchema, lintOnly bool, args []string) (int, error)
 		fmt.Print(r.Summary())
 		if r.Check != nil && !r.Check.Passed() {
 			failed = true
+		}
+	}
+	if report != "" {
+		b, err := loc.BuildReport(results).JSON()
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(report, b, 0o644); err != nil {
+			// os.WriteFile returns *fs.PathError, so main exits 4 (I/O).
+			return 0, err
 		}
 	}
 	if failed {

@@ -13,6 +13,14 @@
 //	nepsim -bench nat -policy tdvs -metrics m.json
 //	nepsim -bench ipfwdr -policy tdvs -faults plan.json -run-timeout 5m
 //	nepsim -bench ipfwdr -level high -timeline run.trace.json
+//	nepsim -bench ipfwdr -formulas f.loc -assertions report.json
+//
+// -assertions writes the unified assertion report (loc.Report JSON): per-
+// formula verdicts, violation witnesses with full trace provenance, the
+// worst offender, and violation density over sim time. With -timeline,
+// retained violations also appear as instants and window spans on the
+// "assert" track, tiled against ME activity, DVS transitions and fault
+// windows.
 //
 // -timeline records the run's simulation-time spans — per-ME execution and
 // idle residency, memory transactions, VF ladder levels and transitions,
@@ -47,6 +55,7 @@ import (
 	"nepdvs/internal/cli"
 	"nepdvs/internal/core"
 	"nepdvs/internal/fault"
+	"nepdvs/internal/loc"
 	"nepdvs/internal/obs"
 	"nepdvs/internal/policy"
 	"nepdvs/internal/span"
@@ -94,6 +103,7 @@ type options struct {
 	timeline       string
 	binary         bool
 	formulas       string
+	assertions     string
 	pipeline       bool
 	packets        string
 	metrics        string
@@ -125,6 +135,7 @@ func main() {
 	flag.StringVar(&o.timeline, "timeline", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
 	flag.BoolVar(&o.binary, "binary", false, "write the trace in binary format")
 	flag.StringVar(&o.formulas, "formulas", "", "LOC formulas to evaluate live (file path)")
+	flag.StringVar(&o.assertions, "assertions", "", "write the assertion report JSON (verdicts, witnesses, density) to this file; requires -formulas")
 	flag.BoolVar(&o.pipeline, "pipeline", false, "emit per-batch pipeline events (large traces)")
 	flag.StringVar(&o.packets, "packets", "", "replay packet arrivals from a trafficgen file instead of generating")
 	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, else JSON)")
@@ -223,6 +234,9 @@ func run(o options, rawArgs []string) error {
 		}
 		cfg.Formulas = string(src)
 	}
+	if o.assertions != "" && o.formulas == "" {
+		return fmt.Errorf("-assertions needs -formulas to evaluate")
+	}
 	if o.faults != "" {
 		plan, err := fault.ReadPlanFile(o.faults)
 		if err != nil {
@@ -238,6 +252,15 @@ func run(o options, rawArgs []string) error {
 	if o.metrics != "" || o.perf {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
+	}
+
+	// Assertion-evaluation latency is wall-clock derived, so it lives in a
+	// separate registry that feeds only the manifest's perf block — never
+	// the deterministic -metrics snapshot.
+	var wallReg *obs.Registry
+	if o.perf && cfg.Formulas != "" {
+		wallReg = obs.NewRegistry()
+		cfg.WallMetrics = wallReg
 	}
 
 	var spans *span.Recorder
@@ -295,7 +318,7 @@ func run(o options, rawArgs []string) error {
 	}
 	var perfSnap *obs.Snapshot
 	if o.perf {
-		s := perfSnapshot(o.cycles, simWall, ms0, res, reg)
+		s := perfSnapshot(o.cycles, simWall, ms0, res, reg, wallReg)
 		perfSnap = &s
 	}
 	if closer != nil {
@@ -312,6 +335,16 @@ func run(o options, rawArgs []string) error {
 	var outputs []string
 	if o.tracePath != "" {
 		outputs = append(outputs, o.tracePath)
+	}
+	if o.assertions != "" {
+		b, err := loc.BuildReport(res.LOC).JSON()
+		if err != nil {
+			return err
+		}
+		if err := obs.AtomicWriteFile(o.assertions, b, 0o644); err != nil {
+			return err
+		}
+		outputs = append(outputs, o.assertions)
 	}
 	if spans != nil {
 		if err := span.WriteChromeFile(o.timeline, spans.Events()); err != nil {
@@ -355,10 +388,19 @@ func run(o options, rawArgs []string) error {
 // simulated packet. Everything here is wall-clock derived, so the snapshot
 // goes to the manifest's perf block and stdout — never into the
 // deterministic -metrics surface.
-func perfSnapshot(cycles int64, wall time.Duration, before runtime.MemStats, res *core.RunResult, reg *obs.Registry) obs.Snapshot {
+func perfSnapshot(cycles int64, wall time.Duration, before runtime.MemStats, res *core.RunResult, reg, wallReg *obs.Registry) obs.Snapshot {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	preg := obs.NewRegistry()
+	if wallReg != nil {
+		// Fold in the wall-clock assertion-evaluation histogram
+		// (loc_eval_seconds) so the manifest's perf block carries it.
+		if err := preg.MergeSnapshot(wallReg.Snapshot()); err != nil {
+			// Merging into an empty registry cannot conflict; a failure here
+			// is a bug, but perf reporting must not sink the run.
+			fmt.Fprintln(os.Stderr, "nepsim: perf merge:", err)
+		}
+	}
 	secs := wall.Seconds()
 	if secs <= 0 {
 		secs = 1e-9
@@ -411,6 +453,8 @@ func manifestPath(o options, outputs []string) string {
 		return deriveManifest(o.tracePath)
 	case o.timeline != "":
 		return deriveManifest(o.timeline)
+	case o.assertions != "":
+		return deriveManifest(o.assertions)
 	}
 	return ""
 }

@@ -38,7 +38,10 @@ import (
 //	2 — PolicyConfig as registry {Name, Params}, canonicalized (aliases
 //	    resolved, defaults filled) before hashing; the chip gained the
 //	    DPM sleep states.
-const runKeySchema = 2
+//	3 — LOC violations gained witness provenance (bindings, worst, time
+//	    density, window peaks): cached results carry the new shape and
+//	    per-formula loc_* metrics, so pre-witness entries must miss.
+const runKeySchema = 3
 
 // CachedRun is the unit the run cache stores: the full result plus the
 // run's own metrics snapshot, so a cache hit can replay its metrics into

@@ -154,8 +154,8 @@ func TestRunKeyPolicyCanonicalization(t *testing.T) {
 }
 
 // TestRunKeySchemaStamp pins the schema version into the key material: the
-// registry refactor bumped it to 2 so every pre-registry cache entry
-// misses rather than replaying a run keyed under the old enum encoding.
+// witness work bumped it to 3 so every pre-witness cache entry misses
+// rather than replaying a result without provenance or loc_* metrics.
 func TestRunKeySchemaStamp(t *testing.T) {
 	b, err := RunKeyMaterial(cacheTestConfig(t))
 	if err != nil {
@@ -170,8 +170,8 @@ func TestRunKeySchemaStamp(t *testing.T) {
 	if err := json.Unmarshal(b, &m); err != nil {
 		t.Fatal(err)
 	}
-	if m.Schema != 2 {
-		t.Errorf("key material schema = %d, want 2 (bump TestRunKeySchemaStamp alongside any deliberate schema change)", m.Schema)
+	if m.Schema != 3 {
+		t.Errorf("key material schema = %d, want 3 (bump TestRunKeySchemaStamp alongside any deliberate schema change)", m.Schema)
 	}
 }
 

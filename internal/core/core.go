@@ -154,6 +154,13 @@ type RunConfig struct {
 	// cannot replay the timeline. Not part of the serializable config; a
 	// recorder serves exactly one run.
 	Spans *span.Recorder `json:"-"`
+	// WallMetrics, when non-nil, receives wall-clock-derived observability
+	// (the loc_eval_seconds assertion-evaluation latency histogram). It is
+	// kept separate from Metrics because wall-clock values are not
+	// deterministic per seed; manifests and service /metrics may fold it in,
+	// but nepsim -metrics snapshots must not. Not part of the serializable
+	// config.
+	WallMetrics *obs.Registry `json:"-"`
 }
 
 // DefaultRunConfig assembles the paper's experimental setup for a benchmark
@@ -304,6 +311,27 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	return res, err
 }
 
+// locEvalSink wraps the LOC runner to sample the wall-clock latency of its
+// event processing. Wall-derived, so it observes only into the histogram
+// from RunConfig.WallMetrics — never the deterministic Metrics registry.
+// Sampling every 64th event keeps the hot path cheap.
+type locEvalSink struct {
+	inner trace.Sink
+	hist  *obs.Histogram
+	n     uint64
+}
+
+func (s *locEvalSink) Emit(ev *trace.Event) error {
+	s.n++
+	if s.n&63 != 0 {
+		return s.inner.Emit(ev)
+	}
+	start := time.Now()
+	err := s.inner.Emit(ev)
+	s.hist.Observe(time.Since(start).Seconds())
+	return err
+}
+
 // runSim is the simulation proper: everything RunContext does besides cache
 // bookkeeping. capture asks for a private per-run metrics snapshot (for the
 // cache entry) in addition to any cfg.Metrics publish.
@@ -369,7 +397,17 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 
 	var sinks trace.MultiSink
 	if runner != nil {
-		sinks = append(sinks, runner)
+		if cfg.Spans != nil {
+			runner.SetSpans(cfg.Spans)
+		}
+		if cfg.WallMetrics != nil {
+			sinks = append(sinks, &locEvalSink{
+				inner: runner,
+				hist:  cfg.WallMetrics.Histogram("loc_eval_seconds", obs.ExponentialEdges(1e-7, 4, 12)),
+			})
+		} else {
+			sinks = append(sinks, runner)
+		}
 	}
 	if cfg.ExtraSink != nil {
 		sinks = append(sinks, cfg.ExtraSink)
@@ -543,6 +581,9 @@ func runSim(ctx context.Context, cfg RunConfig, capture bool) (res *RunResult, s
 		}
 		if inj != nil {
 			inj.PublishMetrics(reg)
+		}
+		if runner != nil {
+			runner.PublishMetrics(reg)
 		}
 	}
 	if captureReg != nil {

@@ -50,6 +50,11 @@ type Report struct {
 	Title  string
 	Body   string // gnuplot-style data blocks
 	Charts []NamedChart
+	// Assertions, when non-nil, is the unified assertion report over the
+	// experiment's LOC formula results (per-formula verdicts, violation
+	// witnesses, density). Built purely from run results, so it is
+	// byte-identical across repeats and service paths.
+	Assertions *loc.Report
 }
 
 func (r Report) String() string {

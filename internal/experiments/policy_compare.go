@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"nepdvs/internal/core"
+	"nepdvs/internal/loc"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
@@ -136,10 +137,21 @@ func PolicyCompareReport(results []*core.RunResult) (Report, error) {
 			}
 		}
 	}
+	// The attached assertion report concatenates every policy's formula
+	// results under "<policy>/" name prefixes, in presentation order — a
+	// pure function of the results, preserving the byte-identity guarantee.
+	var all []loc.Result
+	for i, res := range results {
+		for _, lr := range res.LOC {
+			lr.Name = pols[i].String() + "/" + lr.Name
+			all = append(all, lr)
+		}
+	}
 	return Report{
-		ID:    "policy_compare",
-		Title: "Registry policies ranked on energy vs packet-loss assertions (ipfwdr, high traffic)",
-		Body:  b.String(),
+		ID:         "policy_compare",
+		Title:      "Registry policies ranked on energy vs packet-loss assertions (ipfwdr, high traffic)",
+		Body:       b.String(),
+		Assertions: loc.BuildReport(all),
 	}, nil
 }
 

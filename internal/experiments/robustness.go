@@ -172,11 +172,21 @@ func FaultSweep(o Options) (Report, error) {
 	}
 	b.WriteString("\n")
 	b.WriteString(detail.String())
+	// Attach the unified assertion report: every cell's formula results
+	// under "in<intensity>/<policy>/" prefixes, in cell order.
+	var all []loc.Result
+	for _, c := range cells {
+		for _, lr := range c.Result.LOC {
+			lr.Name = fmt.Sprintf("in%g/%s/%s", c.Intensity, c.Policy, lr.Name)
+			all = append(all, lr)
+		}
+	}
 	return Report{
-		ID:     "fault_sweep",
-		Title:  "Robustness assertions under swept fault intensity (ipfwdr, TDVS/EDVS/PID/PSM)",
-		Body:   b.String(),
-		Charts: []NamedChart{{Name: "fault_sweep", SVG: svg}},
+		ID:         "fault_sweep",
+		Title:      "Robustness assertions under swept fault intensity (ipfwdr, TDVS/EDVS/PID/PSM)",
+		Body:       b.String(),
+		Charts:     []NamedChart{{Name: "fault_sweep", SVG: svg}},
+		Assertions: loc.BuildReport(all),
 	}, nil
 }
 

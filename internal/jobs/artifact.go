@@ -1,6 +1,12 @@
 package jobs
 
-import "nepdvs/internal/core"
+import (
+	"encoding/json"
+	"fmt"
+
+	"nepdvs/internal/core"
+	"nepdvs/internal/loc"
+)
 
 // RunArtifact is the stored output of a KindRun job.
 type RunArtifact struct {
@@ -34,4 +40,37 @@ func NewSweepArtifact(results []core.SweepResult) *SweepArtifact {
 		a.Points[i] = p
 	}
 	return a
+}
+
+// AssertionReport derives the unified assertion report from stored artifact
+// bytes. Run artifacts report their formulas directly; sweep artifacts
+// concatenate per-point formula results with "th<threshold>-w<window>/" name
+// prefixes in the canonical point order. Built from the serialized result
+// alone, so the service path (GET /v1/jobs/{id}/assertions) produces bytes
+// identical to loc.BuildReport over the equivalent local run.
+func AssertionReport(raw json.RawMessage) (*loc.Report, error) {
+	var probe struct {
+		Result *core.RunResult `json:"result"`
+		Points []SweepPoint    `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("jobs: decoding artifact: %w", err)
+	}
+	switch {
+	case probe.Result != nil:
+		return loc.BuildReport(probe.Result.LOC), nil
+	case probe.Points != nil:
+		var all []loc.Result
+		for _, p := range probe.Points {
+			if p.Result == nil {
+				continue
+			}
+			for _, lr := range p.Result.LOC {
+				lr.Name = fmt.Sprintf("th%g-w%d/%s", p.Point.ThresholdMbps, p.Point.WindowCycles, lr.Name)
+				all = append(all, lr)
+			}
+		}
+		return loc.BuildReport(all), nil
+	}
+	return nil, fmt.Errorf("jobs: artifact carries no run results")
 }

@@ -177,6 +177,14 @@ type Options struct {
 	// Now overrides the stage clock, for deterministic tests. Nil means
 	// time.Now.
 	Now func() time.Time
+	// RunMetrics, when non-nil, is injected into every executed spec's
+	// config as both Metrics and WallMetrics, so per-run simulation counters
+	// (including the per-formula loc_* assertion metrics and the
+	// loc_eval_seconds latency histogram) accumulate on the daemon's
+	// /metrics registry. Specs arrive with these fields nil (Validate
+	// enforces it); the injection is executor-side only and never affects
+	// job identity or checkpoints.
+	RunMetrics *obs.Registry
 }
 
 // Queue is a bounded priority job queue with a worker pool, singleflight
@@ -230,6 +238,14 @@ func New(opts Options) *Queue {
 	}
 	if q.exec == nil {
 		q.exec = Execute
+	}
+	if reg := opts.RunMetrics; reg != nil {
+		inner := q.exec
+		q.exec = func(ctx context.Context, spec Spec, progress func(done, retries int)) (any, error) {
+			spec.Config.Metrics = reg
+			spec.Config.WallMetrics = reg
+			return inner(ctx, spec, progress)
+		}
 	}
 	q.log = opts.Logger
 	if q.log == nil {

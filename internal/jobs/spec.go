@@ -70,7 +70,7 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("jobs: unknown kind %q", s.Kind)
 	}
-	if s.Config.ExtraSink != nil || s.Config.Metrics != nil || s.Config.Spans != nil {
+	if s.Config.ExtraSink != nil || s.Config.Metrics != nil || s.Config.Spans != nil || s.Config.WallMetrics != nil {
 		return fmt.Errorf("jobs: spec config must be serializable (no sinks, registries or recorders)")
 	}
 	return nil

@@ -225,6 +225,83 @@ func TestGeneratedDistMatchesRunner(t *testing.T) {
 	}
 }
 
+// TestGeneratedReportByteIdentical asserts the tentpole guarantee: for one
+// trace, the assertion report written by a locgen-generated checker is
+// byte-identical to the one the in-process VM builds — witnesses, worst
+// offender, density and all. Both paths parse the same text trace so the
+// float64 inputs are bit-equal. Skipped in -short mode (shells out to go).
+func TestGeneratedReportByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("requires go toolchain run")
+	}
+	formula := "cycle(deq[i]) - cycle(enq[i]) <= 50"
+	evs := mkTrace(40, func(k int) uint64 {
+		if k%7 == 0 {
+			return uint64(60 + k)
+		}
+		return 30
+	})
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := trace.NewTextWriter(tf)
+	for i := range evs {
+		if err := tw.Emit(&evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.Close()
+	tf.Close()
+
+	// VM path: re-read the written trace so both evaluators see the exact
+	// same parsed floats.
+	in, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	source, err := trace.OpenSource(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunFormulas(formula, source, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BuildReport(results).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generated-checker path.
+	src, err := GenerateGo(MustParse(formula), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainPath := filepath.Join(dir, "checker.go")
+	if err := os.WriteFile(mainPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "report.json")
+	cmd := exec.Command("go", "run", mainPath, "-report", reportPath, tracePath)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("generated checker exited 0 on violating trace:\n%s", out)
+	}
+	got, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("generated checker wrote no report: %v\noutput:\n%s", err, out)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("generated report differs from VM report:\n--- generated ---\n%s\n--- vm ---\n%s", got, want)
+	}
+}
+
 func dataRows(s string) []string {
 	var rows []string
 	for _, line := range strings.Split(s, "\n") {

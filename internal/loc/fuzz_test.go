@@ -1,6 +1,7 @@
 package loc
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,70 @@ func FuzzLOCParse(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, src string) {
 		_, _ = ParseFile(src)
+	})
+}
+
+// FuzzWitnessRender hammers the witness-rendering pipeline with adversarial
+// annotation values and window shapes: violation provenance flows straight
+// from trace annotations into reports and CLI output, so Binding, Violation,
+// CheckResult and Report rendering must never panic — and the density series,
+// whose bin layout is derived from (possibly hostile) violation times, must
+// never allocate unboundedly.
+func FuzzWitnessRender(f *testing.F) {
+	f.Add(int64(0), 70.0, 50.0, 0.5, 100.0, uint(3), int64(5))
+	f.Add(int64(-9e18), math.NaN(), math.Inf(1), math.Inf(-1), -1.0, uint(0), int64(0))
+	f.Add(int64(9e18), 1e308, -1e308, 1e-308, 5e307, uint(64), int64(200))
+	f.Add(int64(7), 0.0, -0.0, math.NaN(), math.NaN(), uint(1), int64(1))
+
+	f.Fuzz(func(t *testing.T, inst int64, lhs, rhs, tm, cyc float64, nbind uint, total int64) {
+		if nbind > 256 {
+			nbind = nbind % 256
+		}
+		v := Violation{Instance: inst, LHS: lhs, RHS: rhs, Time: tm}
+		for k := uint(0); k < nbind; k++ {
+			v.Witness = append(v.Witness, Binding{
+				Ref:   "energy(forward[i+" + itoa(int64(k)) + "])",
+				Event: "forward", Ann: "energy",
+				Index: inst + int64(k), Value: lhs * float64(k),
+				Cycle: cyc, Time: tm,
+			})
+		}
+		_ = v.String()
+		for _, b := range v.Witness {
+			_ = b.String()
+		}
+
+		if total < 0 {
+			total = -total
+		}
+		if total > 1000 {
+			total %= 1000
+		}
+		c := &CheckResult{Instances: total, Total: total, Worst: &v}
+		d := &Density{}
+		for k := int64(0); k < total; k++ {
+			c.Violations = append(c.Violations, v)
+			d.Add(tm * float64(k))
+		}
+		c.Density = d
+		if len(d.Counts) > densityBins {
+			t.Fatalf("density grew past %d bins: %d (width %g)", densityBins, len(d.Counts), d.WidthUS)
+		}
+		if d.Total() != total {
+			t.Fatalf("density lost violations: %d of %d", d.Total(), total)
+		}
+		_ = c.String()
+
+		rep := BuildReport([]Result{{
+			Name:    "fz",
+			Formula: MustParse("energy(forward[i+1]) - energy(forward[i]) <= 0"),
+			Check:   c,
+		}})
+		// Non-finite floats are unrepresentable in JSON — the report path only
+		// ever receives trace-parsed (finite) values — so JSON() may error
+		// here, but neither renderer may panic.
+		_, _ = rep.JSON()
+		_ = rep.Text()
 	})
 }
 

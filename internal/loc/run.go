@@ -2,20 +2,98 @@ package loc
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"nepdvs/internal/obs"
+	"nepdvs/internal/sim"
+	"nepdvs/internal/span"
 	"nepdvs/internal/stats"
 	"nepdvs/internal/trace"
 )
 
-// Violation records one failing instance of a checker formula.
+// Binding is one reference slot's provenance for a particular formula
+// instance: which event instance bound the value, and the trace coordinates
+// (cycle, time) of that event. A violation's witness is one Binding per
+// reference slot, in slot (first-appearance) order.
+type Binding struct {
+	Ref   string  `json:"ref"`   // source form, e.g. "cycle(deq[i-1])"
+	Event string  `json:"event"` // event name
+	Ann   string  `json:"ann"`   // annotation name
+	Index int64   `json:"index"` // resolved instance number of Event
+	Value float64 `json:"value"` // the annotation value that entered the evaluation
+	Cycle float64 `json:"cycle"` // trace cycle of the bound event
+	Time  float64 `json:"time"`  // trace time of the bound event (µs)
+}
+
+func (b Binding) String() string {
+	return fmt.Sprintf("%s = %g (%s[%d] cycle=%g t=%gus)", b.Ref, b.Value, b.Event, b.Index, b.Cycle, b.Time)
+}
+
+// Violation records one failing instance of a checker formula, with the
+// witness that explains it.
 type Violation struct {
-	Instance int64
-	LHS, RHS float64
+	Instance int64   `json:"i"`
+	LHS      float64 `json:"lhs"`
+	RHS      float64 `json:"rhs"`
+	// Time is the simulation time (µs) at which the instance became
+	// checkable: the latest trace event its references bound.
+	Time float64 `json:"time"`
+	// Witness holds one binding per reference slot (nil when provenance was
+	// not captured, e.g. for violations past the retention cap).
+	Witness []Binding `json:"witness,omitempty"`
 }
 
 func (v Violation) String() string {
 	return fmt.Sprintf("i=%d: lhs=%g rhs=%g", v.Instance, v.LHS, v.RHS)
+}
+
+// densityBins bounds the Density bin count; the bin width doubles (folding
+// adjacent bins) whenever a violation lands past the last slot.
+const densityBins = 64
+
+// Density is a constant-memory violation-count series over simulation time:
+// Counts[k] covers [k·WidthUS, (k+1)·WidthUS) microseconds from t = 0. It
+// starts with 1 µs bins and doubles the width as needed, so its layout is a
+// pure function of the violation times — identical across the in-process VM
+// and generated checkers.
+type Density struct {
+	WidthUS float64 `json:"width_us"`
+	Counts  []int64 `json:"counts"`
+}
+
+// Add records one violation at time t (µs). Non-finite or negative times
+// clamp to bin zero so adversarial annotation values cannot force unbounded
+// growth.
+func (d *Density) Add(t float64) {
+	if d.WidthUS == 0 {
+		d.WidthUS = 1
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+		t = 0
+	}
+	for t >= d.WidthUS*densityBins {
+		folded := make([]int64, (len(d.Counts)+1)/2)
+		for k, c := range d.Counts {
+			folded[k/2] += c
+		}
+		d.Counts = folded
+		d.WidthUS *= 2
+	}
+	k := int(t / d.WidthUS)
+	for len(d.Counts) <= k {
+		d.Counts = append(d.Counts, 0)
+	}
+	d.Counts[k]++
+}
+
+// Total returns the number of recorded violations.
+func (d *Density) Total() int64 {
+	var n int64
+	for _, c := range d.Counts {
+		n += c
+	}
+	return n
 }
 
 // CheckResult is the outcome of running a checker formula over a trace.
@@ -25,10 +103,58 @@ type CheckResult struct {
 	Indeterminate int64 // instances where a NaN reached the comparison
 	Total         int64 // total violations
 	Violations    []Violation
+	// Worst is the violation with the largest margin by which the relation
+	// failed, tracked across every violation — including those past the
+	// retention cap. Ties keep the earliest.
+	Worst *Violation `json:"worst,omitempty"`
+	// Density bins every violation (retained or not) by its sim time.
+	Density *Density `json:"density,omitempty"`
 }
 
 // Passed reports whether the assertion held on every evaluated instance.
 func (c *CheckResult) Passed() bool { return c.Total == 0 && c.Indeterminate == 0 }
+
+// String renders the verdict line, up to ten retained violations with their
+// witness bindings, and an exact remainder count. Total counts every
+// violation even when MaxViolations capped retention, so the remainder line
+// covers both the display truncation and the retention cap.
+func (c *CheckResult) String() string {
+	var b strings.Builder
+	status := "PASSED"
+	if !c.Passed() {
+		status = "FAILED"
+	}
+	fmt.Fprintf(&b, "  %s: %d instances evaluated, %d violations, %d indeterminate, %d skipped\n",
+		status, c.Instances, c.Total, c.Indeterminate, c.Skipped)
+	shown := len(c.Violations)
+	if shown > 10 {
+		shown = 10
+	}
+	for _, v := range c.Violations[:shown] {
+		fmt.Fprintf(&b, "  violation %s\n", v)
+		for _, bd := range v.Witness {
+			fmt.Fprintf(&b, "    %s\n", bd)
+		}
+	}
+	if rest := c.Total - int64(shown); rest > 0 {
+		fmt.Fprintf(&b, "  ... %d more violations\n", rest)
+	}
+	return b.String()
+}
+
+// deviation measures how badly a violation misses its relation: the margin
+// by which the comparison failed. Larger is worse; equality relations fall
+// back to the magnitude gap (zero for !=, where every violation is equally
+// wrong and the earliest wins).
+func deviation(rel RelOp, lhs, rhs float64) float64 {
+	switch rel {
+	case OpLE, OpLT:
+		return lhs - rhs
+	case OpGE, OpGT:
+		return rhs - lhs
+	}
+	return math.Abs(lhs - rhs)
+}
 
 // DistResult is the outcome of running a distribution formula over a trace.
 type DistResult struct {
@@ -66,6 +192,9 @@ type Result struct {
 	Formula *Formula
 	Check   *CheckResult // non-nil iff Formula.Kind == KindCheck
 	Dist    *DistResult  // non-nil iff Formula.Kind == KindDist
+	// WindowPeak is the high-water mark of retained event history (ring
+	// instances) this formula forced the runner to hold.
+	WindowPeak int64
 }
 
 // Summary renders a one-formula report.
@@ -73,20 +202,7 @@ func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "formula %s: %s\n", r.Name, r.Formula)
 	if r.Check != nil {
-		c := r.Check
-		status := "PASSED"
-		if !c.Passed() {
-			status = "FAILED"
-		}
-		fmt.Fprintf(&b, "  %s: %d instances evaluated, %d violations, %d indeterminate, %d skipped\n",
-			status, c.Instances, c.Total, c.Indeterminate, c.Skipped)
-		for k, v := range c.Violations {
-			if k >= 10 {
-				fmt.Fprintf(&b, "  ... %d more violations\n", c.Total-int64(k))
-				break
-			}
-			fmt.Fprintf(&b, "  violation %s\n", v)
-		}
+		b.WriteString(r.Check.String())
 	} else {
 		d := r.Dist
 		fmt.Fprintf(&b, "  %d instances analyzed (%d skipped, %d NaN)\n", d.Instances, d.Skipped, d.Hist.NaNs())
@@ -178,8 +294,23 @@ type formulaEventState struct {
 	absVals  []float64
 	absSeen  []bool
 
+	// parallel to absSlots: trace coordinates of the pinned event, for
+	// witness provenance.
+	absTime  []float64
+	absCycle []float64
+
 	count int64 // instances of this event seen so far
 	ring  ring
+}
+
+// slotBinding locates one global reference slot inside its event state: k
+// indexes relSlots/relAnns/relOffs when rel, absSlots/absVals otherwise.
+// Witness construction walks this slice (slot order) so provenance never
+// depends on map iteration order.
+type slotBinding struct {
+	es  *formulaEventState
+	k   int
+	rel bool
 }
 
 // formulaState is the runtime state of one formula.
@@ -187,14 +318,19 @@ type formulaState struct {
 	name     string
 	compiled *Compiled
 	events   map[string]*formulaEventState
-	next     int64 // next instance index to evaluate
+	slots    []slotBinding // indexed by global ref slot
+	refStrs  []string      // Ref.String() per slot, precomputed
+	next     int64         // next instance index to evaluate
 	refVals  []float64
 	stack    []float64
 	failed   error
 
-	check *CheckResult
-	dist  *DistResult
-	opts  RunnerOptions
+	check      *CheckResult
+	dist       *DistResult
+	opts       RunnerOptions
+	windowPeak int64
+	worstDev   float64
+	spans      *span.Recorder
 }
 
 // Runner evaluates a set of compiled formulas over a single pass of a trace.
@@ -239,18 +375,25 @@ func NewRunner(opts RunnerOptions, compiled ...*Compiled) (*Runner, error) {
 		for ev, w := range c.Analysis.Windows {
 			st.events[ev] = &formulaEventState{window: w}
 		}
+		st.slots = make([]slotBinding, len(c.Analysis.Refs))
+		st.refStrs = make([]string, len(c.Analysis.Refs))
 		for slot, ref := range c.Analysis.Refs {
 			es := st.events[ref.Event]
+			st.refStrs[slot] = ref.String()
 			if ref.Index.Rel {
+				st.slots[slot] = slotBinding{es: es, k: len(es.relSlots), rel: true}
 				es.relSlots = append(es.relSlots, slot)
 				es.relAnns = append(es.relAnns, ref.Ann)
 				es.relOffs = append(es.relOffs, ref.Index.Offset)
 			} else {
+				st.slots[slot] = slotBinding{es: es, k: len(es.absSlots)}
 				es.absSlots = append(es.absSlots, slot)
 				es.absAnns = append(es.absAnns, ref.Ann)
 				es.absIdx = append(es.absIdx, ref.Index.Offset)
 				es.absVals = append(es.absVals, 0)
 				es.absSeen = append(es.absSeen, false)
+				es.absTime = append(es.absTime, 0)
+				es.absCycle = append(es.absCycle, 0)
 			}
 		}
 		r.formulas = append(r.formulas, st)
@@ -290,15 +433,19 @@ func (st *formulaState) onEvent(ev *trace.Event) error {
 			}
 			es.absVals[k] = v
 			es.absSeen[k] = true
+			es.absTime[k] = ev.Time
+			es.absCycle[k] = float64(ev.Cycle)
 		}
 	}
-	// Capture relative refs into the ring.
+	// Capture relative refs into the ring. The two extra trailing entries
+	// carry the event's time and cycle so retained violations can reconstruct
+	// full witness provenance.
 	if es.window.HasRel {
 		if int64(es.ring.count) >= st.opts.maxWindow() {
 			return fmt.Errorf("loc: formula %s: event %q history exceeds %d instances; "+
 				"the formula requires unbounded memory on this trace", st.name, ev.Name, st.opts.maxWindow())
 		}
-		vals := make([]float64, len(es.relSlots))
+		vals := make([]float64, len(es.relSlots)+2)
 		for k, ann := range es.relAnns {
 			v, ok := ev.Annotation(ann)
 			if !ok {
@@ -307,7 +454,12 @@ func (st *formulaState) onEvent(ev *trace.Event) error {
 			}
 			vals[k] = v
 		}
+		vals[len(es.relSlots)] = ev.Time
+		vals[len(es.relSlots)+1] = float64(ev.Cycle)
 		es.ring.push(vals)
+		if c := int64(es.ring.count); c > st.windowPeak {
+			st.windowPeak = c
+		}
 	}
 	return st.drain()
 }
@@ -383,15 +535,98 @@ func (st *formulaState) evalInstance(i int64) {
 			return
 		}
 		if !st.compiled.Analysis.Formula.Rel.Holds(lhs, rhs) {
-			st.check.Total++
-			if len(st.check.Violations) < st.opts.maxViolations() {
-				st.check.Violations = append(st.check.Violations, Violation{Instance: i, LHS: lhs, RHS: rhs})
-			}
+			st.violation(i, lhs, rhs)
 		}
 		return
 	}
 	st.dist.Instances++
 	st.dist.Hist.Add(lhs)
+}
+
+// violation records a failing instance: every violation feeds the total and
+// the time-density series; retained ones (and any new worst) additionally
+// capture full witness provenance and, when a recorder is attached, a
+// timeline span + instant.
+func (st *formulaState) violation(i int64, lhs, rhs float64) {
+	ch := st.check
+	ch.Total++
+	minT, maxT := st.witnessWindow(i)
+	if ch.Density == nil {
+		ch.Density = &Density{}
+	}
+	ch.Density.Add(maxT)
+	dev := deviation(st.compiled.Analysis.Formula.Rel, lhs, rhs)
+	retain := len(ch.Violations) < st.opts.maxViolations()
+	worse := ch.Worst == nil || dev > st.worstDev
+	if !retain && !worse {
+		return
+	}
+	v := Violation{Instance: i, LHS: lhs, RHS: rhs, Time: maxT, Witness: st.witness(i)}
+	if retain {
+		ch.Violations = append(ch.Violations, v)
+		if st.spans != nil {
+			args := map[string]float64{"i": float64(i), "lhs": lhs, "rhs": rhs}
+			st.spans.Span("assert", st.name, "assert", simTime(minT), simTime(maxT), args)
+			st.spans.Instant("assert", st.name, "assert", simTime(maxT), args)
+		}
+	}
+	if worse {
+		wv := v
+		ch.Worst = &wv
+		st.worstDev = dev
+	}
+}
+
+// witnessWindow returns the earliest and latest trace times (µs) bound by
+// instance i's references, without allocating.
+func (st *formulaState) witnessWindow(i int64) (minT, maxT float64) {
+	for n, sb := range st.slots {
+		var t float64
+		if sb.rel {
+			vals := sb.es.ring.get(i + sb.es.relOffs[sb.k])
+			t = vals[len(sb.es.relSlots)]
+		} else {
+			t = sb.es.absTime[sb.k]
+		}
+		if n == 0 || t < minT {
+			minT = t
+		}
+		if n == 0 || t > maxT {
+			maxT = t
+		}
+	}
+	return minT, maxT
+}
+
+// witness reconstructs the provenance of instance i: one Binding per
+// reference slot, in slot order.
+func (st *formulaState) witness(i int64) []Binding {
+	refs := st.compiled.Analysis.Refs
+	w := make([]Binding, len(refs))
+	for slot, sb := range st.slots {
+		r := refs[slot]
+		b := Binding{Ref: st.refStrs[slot], Event: r.Event, Ann: r.Ann}
+		if sb.rel {
+			idx := i + sb.es.relOffs[sb.k]
+			vals := sb.es.ring.get(idx)
+			n := len(sb.es.relSlots)
+			b.Index, b.Value, b.Time, b.Cycle = idx, vals[sb.k], vals[n], vals[n+1]
+		} else {
+			b.Index, b.Value = sb.es.absIdx[sb.k], sb.es.absVals[sb.k]
+			b.Time, b.Cycle = sb.es.absTime[sb.k], sb.es.absCycle[sb.k]
+		}
+		w[slot] = b
+	}
+	return w
+}
+
+// simTime converts a trace time in microseconds to the recorder's picosecond
+// clock. Non-finite times clamp to zero (the recorder would reject them).
+func simTime(us float64) sim.Time {
+	if math.IsNaN(us) || math.IsInf(us, 0) {
+		return 0
+	}
+	return sim.Time(math.Round(us * float64(sim.Microsecond)))
 }
 
 // trim drops history no future instance can reference.
@@ -413,13 +648,43 @@ func (r *Runner) Results() ([]Result, error) {
 			return nil, st.failed
 		}
 		out = append(out, Result{
-			Name:    st.name,
-			Formula: st.compiled.Analysis.Formula,
-			Check:   st.check,
-			Dist:    st.dist,
+			Name:       st.name,
+			Formula:    st.compiled.Analysis.Formula,
+			Check:      st.check,
+			Dist:       st.dist,
+			WindowPeak: st.windowPeak,
 		})
 	}
 	return out, nil
+}
+
+// SetSpans attaches a timeline recorder: every retained violation records a
+// span covering the window of trace events its references bound plus an
+// instant at the moment the instance became checkable, on the "assert"
+// track. Must be called before events are emitted.
+func (r *Runner) SetSpans(rec *span.Recorder) {
+	for _, st := range r.formulas {
+		st.spans = rec
+	}
+}
+
+// PublishMetrics registers per-formula evaluation counters and the
+// window-retention high-water gauge. Everything published derives from
+// simulation state only, so the snapshot stays byte-identical per seed.
+func (r *Runner) PublishMetrics(reg *obs.Registry) {
+	for _, st := range r.formulas {
+		prefix := "loc_" + st.name + "_"
+		if st.check != nil {
+			reg.Counter(prefix + "instances_total").Add(uint64(st.check.Instances))
+			reg.Counter(prefix + "violations_total").Add(uint64(st.check.Total))
+			reg.Counter(prefix + "indeterminate_total").Add(uint64(st.check.Indeterminate))
+			reg.Counter(prefix + "skipped_total").Add(uint64(st.check.Skipped))
+		} else {
+			reg.Counter(prefix + "instances_total").Add(uint64(st.dist.Instances))
+			reg.Counter(prefix + "skipped_total").Add(uint64(st.dist.Skipped))
+		}
+		reg.Gauge(prefix + "window_peak").SetMax(float64(st.windowPeak))
+	}
 }
 
 // Run drives a trace source to exhaustion through a new runner and returns

@@ -124,6 +124,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/result.json", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/assertions", s.handleAssertions)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -307,6 +308,35 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		if werr := span.WriteChrome(w, events); werr != nil {
 			s.log.Warn("timeline write failed", "trace_id", obs.TraceIDFrom(r.Context()), "err", werr)
 		}
+	}
+}
+
+// handleAssertions serves a finished job's unified assertion report: the
+// per-formula verdicts, violation witnesses, worst offender and violation
+// density derived from the stored artifact. Derivation is pure, so the body
+// is byte-identical to loc.BuildReport over the equivalent local run.
+func (s *Server) handleAssertions(w http.ResponseWriter, r *http.Request) {
+	raw, err := s.queue.Artifact(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, jobs.ErrNotDone):
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		rep, err := jobs.AssertionReport(raw)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		body, err := rep.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"nepdvs/internal/core"
 	"nepdvs/internal/jobs"
+	"nepdvs/internal/loc"
 	"nepdvs/internal/traffic"
 	"nepdvs/internal/workload"
 )
@@ -229,6 +230,103 @@ func TestServeCachedSweep(t *testing.T) {
 	}
 	if m.Cache == nil || m.Cache.Hits == 0 {
 		t.Errorf("shutdown manifest cache block %+v, want nonzero hits", m.Cache)
+	}
+}
+
+// TestServeAssertions drives the assertion-observability path end to end:
+// a run job with a violating LOC formula is submitted through dvsctl, the
+// daemon's GET /v1/jobs/{id}/assertions report is byte-identical to one
+// built from a direct in-process run of the same configuration, and the
+// per-formula loc_* checker metrics are live on /metrics.
+func TestServeAssertions(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	dvsctl := filepath.Join(bins, "dvsctl")
+	addr, stop := startDaemon(t, bins)
+	defer stop()
+
+	cfg, err := core.DefaultRunConfig(workload.IPFwdr, traffic.LevelHigh, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = 300_000
+	// Violated on every adjacent forward pair: cycles strictly increase.
+	cfg.Formulas = "rev: cycle(forward[i+1]) - cycle(forward[i]) <= 0;"
+	cfgPath := filepath.Join(work, "cfg.json")
+	b, _ := json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runTool(t, dvsctl,
+		"-addr", addr, "run", "-config", cfgPath,
+		"-wait", "-out", filepath.Join(work, "result.json"))
+	if err != nil {
+		t.Fatalf("dvsctl run: %v\n%s", err, out)
+	}
+	match := regexp.MustCompile(`job (j-\d+)`).FindStringSubmatch(out)
+	if match == nil {
+		t.Fatalf("no job ID in run output:\n%s", out)
+	}
+	id := match[1]
+
+	repPath := filepath.Join(work, "assertions.json")
+	out, err = runTool(t, dvsctl, "-addr", addr, "assertions", "-out", repPath, id)
+	if err != nil {
+		t.Fatalf("dvsctl assertions: %v\n%s", err, out)
+	}
+	served, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same configuration run in process must yield the same bytes —
+	// the service path round-trips results through the stored artifact.
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	direct, err := loc.BuildReport(res.LOC).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != string(direct) {
+		t.Errorf("served assertion report differs from direct run\nserved: %d bytes\ndirect: %d bytes\nserved:\n%s\ndirect:\n%s",
+			len(served), len(direct), served, direct)
+	}
+
+	var rep loc.Report
+	if err := json.Unmarshal(served, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if len(rep.Formulas) != 1 || rep.Formulas[0].Name != "rev" || rep.Formulas[0].Verdict != "fail" {
+		t.Fatalf("report formulas = %+v", rep.Formulas)
+	}
+	fr := rep.Formulas[0]
+	if fr.Violations == 0 || len(fr.Witnesses) == 0 || len(fr.Witnesses[0].Witness) != 2 {
+		t.Fatalf("report lacks witnesses: %+v", fr)
+	}
+	if fr.Worst == nil || fr.Density == nil {
+		t.Fatalf("report lacks worst/density: %+v", fr)
+	}
+
+	// Per-formula checker metrics are exposed by the daemon.
+	out, err = runTool(t, dvsctl, "-addr", addr, "metrics")
+	if err != nil {
+		t.Fatalf("dvsctl metrics: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"loc_rev_instances_total", "loc_rev_violations_total",
+		"loc_rev_window_peak", "loc_eval_seconds",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	// An unknown job 404s; a sweep-less fresh ID is covered by server tests.
+	if out, err := runTool(t, dvsctl, "-addr", addr, "assertions", "j-999999"); err == nil {
+		t.Errorf("assertions for unknown job succeeded:\n%s", out)
 	}
 }
 
