@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check lint fuzz bench bench-obs bench-serve bench-baseline bench-gate profile serve-smoke serve-cluster-smoke timeline-smoke assert-smoke
+.PHONY: build vet test race check lint analyze fuzz bench bench-obs bench-serve bench-baseline bench-gate profile serve-smoke serve-cluster-smoke timeline-smoke assert-smoke
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,23 @@ check: vet race
 
 # Static analysis: gofmt must be a no-op, nepvet must find nothing in the
 # tree (modulo lint.allow), and the deliberately-bad fixtures must fail red.
-lint:
+lint: analyze
 	@fmtout=$$(gofmt -l . 2>/dev/null); \
 	if [ -n "$$fmtout" ]; then \
 		echo "gofmt needs to run on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) run ./cmd/nepvet
 	sh scripts/lint_fixtures.sh
+
+# Semantic static analysis of every shipped LOC formula profile: interval
+# verdicts, vacuity against the default chip's event vocabulary, tautology/
+# contradiction/subsumption. locheck exits 3 on any finding.
+analyze:
+	@set -e; for f in profiles/*.loc examples/*/*.loc; do \
+		[ -e "$$f" ] || continue; \
+		echo "locheck -analyze $$f"; \
+		$(GO) run ./cmd/locheck -analyze -f "$$f"; \
+	done
 
 # Short fuzz smoke over the binary-trace parser, the LOC front end and the
 # two lint pipelines; CI runs the same budget. Leave -fuzztime off for a
@@ -43,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLOCParse -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzFormulaLint -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzWitnessRender -fuzztime=$(FUZZTIME) ./internal/loc/
+	$(GO) test -fuzz=FuzzAnalyzeVsVM -fuzztime=$(FUZZTIME) ./internal/loc/
 	$(GO) test -fuzz=FuzzAsmLint -fuzztime=$(FUZZTIME) ./internal/isa/
 	$(GO) test -fuzz=FuzzPolicyValidate -fuzztime=$(FUZZTIME) ./internal/policy/
 

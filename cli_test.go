@@ -131,8 +131,8 @@ func TestCLIAssertionReport(t *testing.T) {
 		if err := json.Unmarshal(b, &rep); err != nil {
 			t.Fatalf("report not JSON: %v\n%s", err, b)
 		}
-		if rep["schema"] != float64(1) {
-			t.Fatalf("report schema = %v, want 1", rep["schema"])
+		if rep["schema"] != float64(2) {
+			t.Fatalf("report schema = %v, want 2", rep["schema"])
 		}
 		return rep
 	}

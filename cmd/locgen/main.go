@@ -3,9 +3,11 @@
 // The emitted source depends only on the Go standard library; build it with
 // `go build` and point it at a text trace.
 //
-// locgen lints the formula before generating anything (the analyze-then-
-// generate flow of the paper): findings are printed and the tool exits 3
-// without writing output.
+// locgen runs the full static analysis — structural lints plus the semantic
+// pass (relation verdicts, vacuity against the default chip's event
+// vocabulary) — before generating anything (the analyze-then-generate flow
+// of the paper): findings are printed and the tool exits 3 without writing
+// output.
 //
 // Examples:
 //
@@ -52,7 +54,7 @@ func main() {
 type lintFindings int
 
 func (n lintFindings) Error() string {
-	return fmt.Sprintf("%d lint finding(s); no code generated", int(n))
+	return fmt.Sprintf("%d static-analysis finding(s); no code generated", int(n))
 }
 
 func run(expr, file, name, out string, noSchema bool) error {
@@ -94,17 +96,20 @@ func run(expr, file, name, out string, noSchema bool) error {
 	default:
 		return fmt.Errorf("no formula given (use -e or -f)")
 	}
-	schema := core.TraceSchema()
+	// Full semantic analysis gates generation: there is no point compiling
+	// a checker for an assertion that is vacuous against the default chip's
+	// vocabulary or whose relation is already decided statically.
+	sch := core.EventSchema()
 	if noSchema {
-		schema = nil
+		sch = nil
 	}
-	if diags := loc.Lint(f, schema); len(diags) > 0 {
+	if diags := loc.AnalyzeFormula(f, sch); len(diags) > 0 {
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
 		}
 		return lintFindings(len(diags))
 	}
-	src, err := loc.GenerateGo(f, schema)
+	src, err := loc.GenerateGo(f, sch.AnnNames())
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,10 @@
 // trace: checkers report violations, distribution formulas print their
 // hist/cdf/ccdf tables. Traces may be text or binary (auto-detected) and
 // are streamed in O(window) memory. With -lint the formulas are statically
-// analyzed and no trace is read at all.
+// linted (structure only) and no trace is read; with -analyze they get the
+// full semantic analysis — interval-derived relation verdicts, vacuity
+// against the chip's event vocabulary, tautology/contradiction/subsumption
+// across the file — still without reading a trace.
 //
 // Examples:
 //
@@ -10,6 +13,7 @@
 //	locheck -f formulas.loc run.trc
 //	locheck -f formulas.loc -report report.json run.trc
 //	locheck -lint -f formulas.loc
+//	locheck -analyze -f formulas.loc
 //	nepsim -trace /dev/stdout | locheck -f formulas.loc
 //
 // With -report PATH the unified assertion report (loc.Report JSON: verdicts,
@@ -18,11 +22,11 @@
 //
 // Exit status:
 //
-//	0  all checkers pass (or -lint finds nothing); with -report, the
-//	   report was written
+//	0  all checkers pass (or -lint/-analyze find nothing); with -report,
+//	   the report was written
 //	1  assertion failure (the report, if requested, is still written)
 //	2  usage or parse errors
-//	3  lint findings
+//	3  lint or analysis findings
 //	4  I/O errors (unreadable formulas or trace, unwritable -report path)
 package main
 
@@ -45,10 +49,11 @@ func main() {
 		file     = flag.String("f", "", "formula file")
 		noSchema = flag.Bool("no-schema", false, "skip annotation-name checking against the standard trace schema")
 		lintOnly = flag.Bool("lint", false, "statically lint the formulas and exit without reading a trace")
+		analyze  = flag.Bool("analyze", false, "run the full semantic static analysis (verdicts, vacuity, cross-formula) and exit without reading a trace")
 		report   = flag.String("report", "", "write the assertion report JSON to this file")
 	)
 	flag.Parse()
-	code, err := run(*expr, *file, *noSchema, *lintOnly, *report, flag.Args())
+	code, err := run(*expr, *file, *noSchema, *lintOnly, *analyze, *report, flag.Args())
 	if err != nil {
 		// I/O failures (unreadable formula file or trace) exit 4; everything
 		// else reaching here is a usage or parse problem and exits 2.
@@ -61,7 +66,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(expr, file string, noSchema, lintOnly bool, report string, args []string) (int, error) {
+func run(expr, file string, noSchema, lintOnly, analyze bool, report string, args []string) (int, error) {
 	src := expr
 	if file != "" {
 		if src != "" {
@@ -80,11 +85,31 @@ func run(expr, file string, noSchema, lintOnly bool, report string, args []strin
 	if noSchema {
 		schema = nil
 	}
-	if lintOnly {
-		if report != "" {
-			return 0, fmt.Errorf("-lint evaluates no trace; -report has nothing to write")
+	if lintOnly && analyze {
+		return 0, fmt.Errorf("use -lint or -analyze, not both")
+	}
+	if lintOnly || analyze {
+		mode := "-lint"
+		if analyze {
+			mode = "-analyze"
 		}
-		return lint(src, schema, args)
+		if report != "" {
+			return 0, fmt.Errorf("%s evaluates no trace; -report has nothing to write", mode)
+		}
+		if len(args) > 0 {
+			return 0, fmt.Errorf("%s reads no trace; drop the %q argument", mode, args[0])
+		}
+		if analyze {
+			// The semantic pass gets the full schema — annotation value
+			// ranges plus the default chip's event vocabulary — unless
+			// -no-schema asks for pure structure checking.
+			sch := core.EventSchema()
+			if noSchema {
+				sch = nil
+			}
+			return diagnose(loc.AnalyzeFile(src, sch))
+		}
+		return diagnose(loc.LintFile(src, schema))
 	}
 	in := os.Stdin
 	if len(args) > 1 {
@@ -129,13 +154,9 @@ func run(expr, file string, noSchema, lintOnly bool, report string, args []strin
 	return 0, nil
 }
 
-// lint statically analyzes the formulas: parse errors exit 2 like every
-// other malformed invocation, findings exit 3, a clean bill exits 0.
-func lint(src string, schema map[string]bool, args []string) (int, error) {
-	if len(args) > 0 {
-		return 0, fmt.Errorf("-lint reads no trace; drop the %q argument", args[0])
-	}
-	diags, parsed := loc.LintFile(src, schema)
+// diagnose renders a static-analysis outcome: parse errors exit 2 like
+// every other malformed invocation, findings exit 3, a clean bill exits 0.
+func diagnose(diags []loc.LintDiag, parsed bool) (int, error) {
 	for _, d := range diags {
 		fmt.Println(d)
 	}
@@ -143,7 +164,7 @@ func lint(src string, schema map[string]bool, args []string) (int, error) {
 		return cli.ExitUsage, nil
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "locheck: %d lint finding(s)\n", len(diags))
+		fmt.Fprintf(os.Stderr, "locheck: %d finding(s)\n", len(diags))
 		return cli.ExitLint, nil
 	}
 	return 0, nil

@@ -233,6 +233,19 @@ func run(o options, rawArgs []string) error {
 			return err
 		}
 		cfg.Formulas = string(src)
+		// Gate the run on static analysis against this run's exact trace
+		// schema: a vacuous or tautological assertion set would spend the
+		// whole simulation producing an empty claim.
+		diags, parsed := loc.AnalyzeFile(cfg.Formulas, core.EventSchemaFor(cfg.Chip))
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", o.formulas, d)
+		}
+		if !parsed {
+			cli.DieUsage("nepsim", fmt.Errorf("%s does not parse", o.formulas))
+		}
+		if len(diags) > 0 {
+			cli.DieLint("nepsim", fmt.Errorf("%d static-analysis finding(s) in %s", len(diags), o.formulas))
+		}
 	}
 	if o.assertions != "" && o.formulas == "" {
 		return fmt.Errorf("-assertions needs -formulas to evaluate")

@@ -5,7 +5,7 @@
 //	nepvet                      lint the repo's Go for determinism hazards
 //	nepvet internal/sim cmd/…   lint specific package directories
 //	nepvet -asm prog.asm…       lint microengine assembly programs
-//	nepvet -loc formulas.loc…   lint LOC assertion formulas
+//	nepvet -loc formulas.loc…   statically analyze LOC assertion formulas
 //
 // Go rules (det/*) guard the byte-identical-per-seed guarantee: wall-clock
 // and global-rand calls inside deterministic packages, map iteration
@@ -35,7 +35,7 @@ import (
 func main() {
 	var (
 		asmMode  = flag.Bool("asm", false, "lint microengine assembly files")
-		locMode  = flag.Bool("loc", false, "lint LOC formula files")
+		locMode  = flag.Bool("loc", false, "statically analyze LOC formula files (lints + semantic pass)")
 		root     = flag.String("root", ".", "repository root for Go linting")
 		allow    = flag.String("allow", "", "allowlist file (default <root>/lint.allow)")
 		det      = flag.String("det", "", "comma-separated deterministic package dirs (overrides the built-in set; used by fixture tests)")
@@ -53,11 +53,11 @@ func main() {
 	case *asmMode:
 		diags, err = lintAsmFiles(flag.Args())
 	case *locMode:
-		schema := core.TraceSchema()
+		sch := core.EventSchema()
 		if *noSchema {
-			schema = nil
+			sch = nil
 		}
-		diags, err = lintLocFiles(flag.Args(), schema)
+		diags, err = lintLocFiles(flag.Args(), sch)
 	default:
 		diags, err = lintGoTree(*root, *allow, *det, flag.Args())
 	}
@@ -120,7 +120,7 @@ func lintAsmFiles(files []string) ([]lint.Diag, error) {
 	return out, nil
 }
 
-func lintLocFiles(files []string, schema map[string]bool) ([]lint.Diag, error) {
+func lintLocFiles(files []string, sch *loc.Schema) ([]lint.Diag, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("-loc needs at least one formula file")
 	}
@@ -130,7 +130,7 @@ func lintLocFiles(files []string, schema map[string]bool) ([]lint.Diag, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds, _ := loc.LintFile(string(b), schema)
+		ds, _ := loc.AnalyzeFile(string(b), sch)
 		for _, d := range ds {
 			out = append(out, lint.Diag{File: filepath.ToSlash(path), Line: d.Pos.Line, Col: d.Pos.Col, Rule: d.Rule, Msg: d.Msg})
 		}

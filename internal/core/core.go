@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"nepdvs/internal/dvs"
 	"nepdvs/internal/fault"
 	"nepdvs/internal/loc"
+	"nepdvs/internal/loc/interval"
 	"nepdvs/internal/npu"
 	"nepdvs/internal/obs"
 	"nepdvs/internal/policy"
@@ -237,6 +239,43 @@ func (r *RunResult) LOCByName(name string) (*loc.Result, bool) {
 func TraceSchema() map[string]bool {
 	return loc.StandardSchema("idle_frac", "mhz", "volts", "instrs", "kind", "unit", "magnitude")
 }
+
+// TraceRanges declares the value range of every annotation in TraceSchema,
+// for the semantic analyzer: the five standard annotations are monotone
+// counters (non-negative), idle fractions live in [0, 1], and the remaining
+// extras are non-negative physical quantities or enum codes — except fault
+// magnitudes, which may be any real (e.g. a negative voltage excursion).
+func TraceRanges() map[string]interval.Interval {
+	anns := loc.StandardRanges()
+	nn := interval.Range(0, math.Inf(1))
+	anns["idle_frac"] = interval.Range(0, 1)
+	for _, a := range []string{"mhz", "volts", "instrs", "kind", "unit"} {
+		anns[a] = nn
+	}
+	anns["magnitude"] = interval.Full()
+	return anns
+}
+
+// EventSchemaFor returns the full analyzer schema — annotation ranges plus
+// the exact event vocabulary — of traces produced by a chip with the given
+// configuration. The vocabulary is what Chip and the fault injector can
+// emit: the packet-path events, the fault announcements, and the per-ME
+// pipeline/idle/vfchange events for each configured microengine.
+func EventSchemaFor(chip npu.Config) *loc.Schema {
+	events := map[string]bool{
+		trace.EvForward: true, trace.EvFifo: true, trace.EvDrop: true,
+		trace.EvFault: true, trace.EvFaultClear: true, trace.EvFaultDrop: true,
+	}
+	for k := 0; k < chip.NumMEs; k++ {
+		events[trace.MEEvent(k, trace.EvPipeline)] = true
+		events[trace.MEEvent(k, trace.EvIdle)] = true
+		events[trace.MEEvent(k, trace.EvVFChange)] = true
+	}
+	return &loc.Schema{Anns: TraceRanges(), Events: events}
+}
+
+// EventSchema is EventSchemaFor on the default chip configuration.
+func EventSchema() *loc.Schema { return EventSchemaFor(npu.DefaultConfig()) }
 
 // RunError wraps a failure inside the simulation itself — a panic recovered
 // from the model (possibly an injected one) — as an ordinary error so sweep

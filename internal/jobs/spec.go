@@ -12,8 +12,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"nepdvs/internal/core"
+	"nepdvs/internal/loc"
 )
 
 // Kind discriminates what a job executes.
@@ -72,6 +74,23 @@ func (s Spec) Validate() error {
 	}
 	if s.Config.ExtraSink != nil || s.Config.Metrics != nil || s.Config.Spans != nil || s.Config.WallMetrics != nil {
 		return fmt.Errorf("jobs: spec config must be serializable (no sinks, registries or recorders)")
+	}
+	// Assertion sets are statically analyzed at admission against the exact
+	// trace schema of the spec's chip: a vacuous or tautological formula
+	// would burn a full simulation to produce an empty claim, so it is
+	// rejected here, where the submitter still has the context to fix it.
+	if s.Config.Formulas != "" {
+		diags, parsed := loc.AnalyzeFile(s.Config.Formulas, core.EventSchemaFor(s.Config.Chip))
+		if !parsed {
+			return fmt.Errorf("jobs: formulas do not parse: %s", diags[0])
+		}
+		if len(diags) > 0 {
+			msgs := make([]string, len(diags))
+			for i, d := range diags {
+				msgs[i] = d.String()
+			}
+			return fmt.Errorf("jobs: formulas fail static analysis:\n%s", strings.Join(msgs, "\n"))
+		}
 	}
 	return nil
 }

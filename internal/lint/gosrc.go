@@ -32,6 +32,7 @@ const (
 var DeterministicPackages = []string{
 	"internal/dvs",
 	"internal/loc",
+	"internal/loc/interval",
 	"internal/npu",
 	"internal/policy",
 	"internal/power",

@@ -40,6 +40,24 @@ func (w EventWindow) Span() int64 {
 	return w.MaxOff - w.MinOff + 1
 }
 
+// Retention is the number of instances of this event the streaming runner
+// must be able to hold at once: the relative-offset span, stretched when an
+// absolute reference on the same event pins instances the evaluation loop
+// cannot drain past until instance AbsIndices[last] arrives. Zero when the
+// event has only absolute references (the runner keeps no ring for it).
+func (w EventWindow) Retention() int64 {
+	if !w.HasRel {
+		return 0
+	}
+	n := w.Span()
+	if len(w.AbsIndices) > 0 {
+		if stall := w.AbsIndices[len(w.AbsIndices)-1] + 1; stall > n {
+			n = stall
+		}
+	}
+	return n
+}
+
 // Analysis is the result of semantic analysis of one formula.
 type Analysis struct {
 	Formula *Formula
@@ -50,6 +68,30 @@ type Analysis struct {
 	Windows map[string]*EventWindow
 	// UsesIndexVar reports whether the formula's arithmetic uses i itself.
 	UsesIndexVar bool
+}
+
+// RetentionBound is the statically inferred history requirement of one event
+// class. Instances is a lower bound on the ring capacity the runner needs;
+// Exact additionally promises the runner's retention can never exceed it, so
+// the ring may be allocated once at exactly that capacity.
+type RetentionBound struct {
+	Instances int64
+	Exact     bool
+}
+
+// Retention infers the per-event retention bound from the formula's
+// index-offset lattice. The bound is exact precisely when the formula
+// references a single event class: with several, one event outpacing another
+// stalls the evaluation loop and forces retention that depends on the trace
+// (the runtime MaxWindow limit still applies), so the bound is only a
+// minimum.
+func (a *Analysis) Retention() map[string]RetentionBound {
+	exact := len(a.Windows) == 1
+	out := make(map[string]RetentionBound, len(a.Windows))
+	for ev, w := range a.Windows {
+		out[ev] = RetentionBound{Instances: w.Retention(), Exact: exact}
+	}
+	return out
 }
 
 // Events returns the sorted referenced event names.
@@ -127,7 +169,24 @@ func Analyze(f *Formula, schema map[string]bool) (*Analysis, error) {
 	if len(a.Refs) == 0 {
 		return nil, errf(f.Pos, "formula references no trace events; nothing to check")
 	}
+	// Without a relative reference nothing bounds the instance stream: the
+	// formula describes exactly one instance (all indices pinned), so using
+	// i would quantify over an unbounded set no trace can ever satisfy the
+	// runner to enumerate.
+	if a.UsesIndexVar && !a.hasRel() {
+		return nil, errf(f.Pos, "formula uses the instance index i but no relative event reference; the instance stream is unbounded")
+	}
 	return a, nil
+}
+
+// hasRel reports whether any reference uses a relative (i-based) index.
+func (a *Analysis) hasRel() bool {
+	for _, w := range a.Windows {
+		if w.HasRel {
+			return true
+		}
+	}
+	return false
 }
 
 func insertSorted(xs []int64, v int64) []int64 {

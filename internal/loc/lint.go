@@ -17,12 +17,19 @@ import (
 // Lint rule IDs.
 const (
 	LintUnknownAnn = "loc/unknown-ann" // annotation absent from the trace schema
-	LintWindow     = "loc/window"      // index offsets force an unbounded event window
+	LintWindow     = "loc/window"      // inferred retention exceeds the runner limit
 	LintAbsIndex   = "loc/abs-index"   // negative absolute event index
 	LintConstRel   = "loc/const-rel"   // relation constant-folds to true/false
 	LintDivZero    = "loc/div-zero"    // division by a constant zero
 	LintNoEvents   = "loc/no-events"   // formula references no trace events
 	LintPeriod     = "loc/period"      // malformed analysis period
+	LintParse      = "loc/parse"       // source does not parse
+
+	// Semantic rules, reported by the analyzer (AnalyzeFile/AnalyzeFormula).
+	LintVacuous       = "loc/vacuous"       // formula can never fire against the event schema
+	LintTautology     = "loc/tautology"     // relation always holds; the assertion cannot fail
+	LintContradiction = "loc/contradiction" // relation (or formula pair) can never hold
+	LintSubsumed      = "loc/subsumed"      // relation implied by another formula in the file
 )
 
 // LintMaxWindow is the per-event history span beyond which Lint considers
@@ -66,7 +73,11 @@ func Lint(f *Formula, schema map[string]bool) []LintDiag {
 	windows := map[string]*EventWindow{}
 	seenRef := map[Ref]bool{}
 	refs := 0
+	usesIndexVar := false
 	f.Walk(func(e Expr) {
+		if _, ok := e.(*IndexVar); ok {
+			usesIndexVar = true
+		}
 		n, ok := e.(*AnnRef)
 		if !ok {
 			return
@@ -104,22 +115,34 @@ func Lint(f *Formula, schema map[string]bool) []LintDiag {
 					w.MaxOff = n.Index.Offset
 				}
 			}
+		} else if n.Index.Offset >= 0 {
+			w.AbsIndices = insertSorted(w.AbsIndices, n.Index.Offset)
 		}
 	})
 	if refs == 0 {
 		report(f.Pos, LintNoEvents, "formula references no trace events; nothing to check")
 	}
 	events := make([]string, 0, len(windows))
-	for e := range windows {
+	hasRel := false
+	for e, w := range windows {
 		events = append(events, e)
+		hasRel = hasRel || w.HasRel
+	}
+	if refs > 0 && usesIndexVar && !hasRel {
+		report(f.Pos, LintWindow,
+			"formula uses the instance index i but no relative event reference; the instance stream is unbounded")
 	}
 	sort.Strings(events)
 	for _, e := range events {
 		w := windows[e]
-		if w.HasRel && w.Span() > LintMaxWindow {
+		if n := w.Retention(); n > LintMaxWindow {
+			why := fmt.Sprintf("offsets %+d..%+d", w.MinOff, w.MaxOff)
+			if len(w.AbsIndices) > 0 {
+				why += fmt.Sprintf(", largest absolute index %d", w.AbsIndices[len(w.AbsIndices)-1])
+			}
 			report(f.Pos, LintWindow,
-				"index offsets on event %q span %d instances (offsets %+d..%+d); the event window is effectively unbounded (runner retains %d)",
-				e, w.Span(), w.MinOff, w.MaxOff, int64(LintMaxWindow))
+				"formula must retain %d instances of event %q (%s); exceeds the runner's default retention limit %d",
+				n, e, why, int64(LintMaxWindow))
 		}
 	}
 
@@ -139,35 +162,20 @@ func Lint(f *Formula, schema map[string]bool) []LintDiag {
 		}
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Col != b.Pos.Col {
-			return a.Pos.Col < b.Pos.Col
-		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		return a.Msg < b.Msg
-	})
+	sortLintDiags(diags)
 	return diags
 }
 
 // LintFile parses formula source and lints every formula in it. Parse
-// errors are converted into a single diagnostic so callers get one
-// uniform findings stream; the bool result reports whether the source
-// parsed (callers distinguishing parse failures from lint findings, like
-// locheck's exit codes, need the distinction).
+// errors are converted into a single diagnostic — positioned like every
+// other diagnostic, with the message stripped of its embedded position — so
+// callers get one uniform findings stream; the bool result reports whether
+// the source parsed (callers distinguishing parse failures from lint
+// findings, like locheck's exit codes, need the distinction).
 func LintFile(src string, schema map[string]bool) ([]LintDiag, bool) {
 	fs, err := ParseFile(src)
 	if err != nil {
-		pos := Pos{Line: 1, Col: 1}
-		if le, ok := err.(*Error); ok {
-			pos = le.Pos
-		}
-		return []LintDiag{{Pos: pos, Rule: "loc/parse", Msg: err.Error()}}, false
+		return parseDiags(err), false
 	}
 	var diags []LintDiag
 	for _, f := range fs {

@@ -3,12 +3,14 @@ package loc
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 )
 
 // ReportSchema versions the assertion-report JSON layout. Bump it whenever a
 // field is added, removed or reinterpreted so consumers can detect mismatch.
-const ReportSchema = 1
+// Schema 2 added the Vacuous flag and the static Analysis block.
+const ReportSchema = 2
 
 // FormulaReport is the per-formula section of an assertion report.
 type FormulaReport struct {
@@ -16,6 +18,9 @@ type FormulaReport struct {
 	Source  string `json:"src"`
 	Kind    string `json:"kind"`    // "check" or "dist"
 	Verdict string `json:"verdict"` // "pass", "fail", "indeterminate" or "dist"
+	// Vacuous marks a check that passed without evaluating a single
+	// instance: nothing was asserted, so "pass" is an empty claim.
+	Vacuous bool `json:"vacuous,omitempty"`
 
 	Instances     int64 `json:"instances"`
 	Skipped       int64 `json:"skipped"`
@@ -31,6 +36,10 @@ type FormulaReport struct {
 	Density *Density   `json:"density,omitempty"`
 	// Witnesses is every retained violation with full provenance.
 	Witnesses []Violation `json:"witnesses,omitempty"`
+	// Analysis is the static-analysis block: the relation verdict over the
+	// standard annotation ranges and the inferred retention bounds. A pure
+	// function of the formula source, identical across every producer.
+	Analysis *ReportAnalysis `json:"analysis,omitempty"`
 }
 
 // Report is the unified assertion report: a deterministic, serializable
@@ -57,6 +66,7 @@ func BuildReport(results []Result) *Report {
 			default:
 				fr.Verdict = "indeterminate"
 			}
+			fr.Vacuous = c.Passed() && c.Instances == 0
 			fr.Instances = c.Instances
 			fr.Skipped = c.Skipped
 			fr.Violations = c.Total
@@ -75,6 +85,7 @@ func BuildReport(results []Result) *Report {
 			fr.Instances = d.Instances
 			fr.Skipped = d.Skipped
 		}
+		fr.Analysis = StaticAnalysis(r.Formula)
 		rep.Formulas = append(rep.Formulas, fr)
 	}
 	return rep
@@ -107,6 +118,27 @@ func (r *Report) Text() string {
 	fmt.Fprintf(&b, "assertion report (schema %d)\n", r.Schema)
 	for _, fr := range r.Formulas {
 		fmt.Fprintf(&b, "formula %s: %s\n", fr.Name, fr.Source)
+		if a := fr.Analysis; a != nil && (a.Verdict != "" || len(a.Retention) > 0) {
+			b.WriteString("  analysis:")
+			if a.Verdict != "" {
+				fmt.Fprintf(&b, " verdict %s;", a.Verdict)
+			}
+			if len(a.Retention) > 0 {
+				events := make([]string, 0, len(a.Retention))
+				for ev := range a.Retention {
+					events = append(events, ev)
+				}
+				sort.Strings(events)
+				b.WriteString(" retention")
+				for _, ev := range events {
+					fmt.Fprintf(&b, " %s=%d", ev, a.Retention[ev])
+				}
+				if a.Exact {
+					b.WriteString(" (exact)")
+				}
+			}
+			b.WriteString("\n")
+		}
 		if fr.Kind == "dist" {
 			fmt.Fprintf(&b, "  dist: %d instances analyzed, %d skipped\n", fr.Instances, fr.Skipped)
 			continue
@@ -115,6 +147,9 @@ func (r *Report) Text() string {
 			strings.ToUpper(fr.Verdict), fr.Instances, fr.Violations, fr.Retained, fr.Indeterminate, fr.Skipped)
 		if fr.WindowPeak > 0 {
 			fmt.Fprintf(&b, "; window peak %d", fr.WindowPeak)
+		}
+		if fr.Vacuous {
+			b.WriteString("; passed vacuously (no instance was ever evaluated)")
 		}
 		b.WriteString("\n")
 		if fr.First != nil {

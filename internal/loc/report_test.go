@@ -71,6 +71,26 @@ func TestBuildReportVerdicts(t *testing.T) {
 	}
 }
 
+func TestReportVacuousPass(t *testing.T) {
+	// A check that never evaluated an instance "passes", but asserted
+	// nothing; the report must say so.
+	res := runOne(t, "cycle(deq[i+1]) - cycle(deq[i]) >= 0", nil)
+	rep := BuildReport([]Result{res})
+	fr := rep.Formulas[0]
+	if fr.Verdict != "pass" || !fr.Vacuous {
+		t.Fatalf("verdict=%q vacuous=%v, want a vacuous pass", fr.Verdict, fr.Vacuous)
+	}
+	if !strings.Contains(rep.Text(), "passed vacuously") {
+		t.Fatalf("text report must flag the vacuous pass:\n%s", rep.Text())
+	}
+	// A pass with real instances is not vacuous.
+	evs := mkTrace(10, func(int) uint64 { return 30 })
+	res = runOne(t, "cycle(deq[i+1]) - cycle(deq[i]) >= 0", evs)
+	if fr := BuildReport([]Result{res}).Formulas[0]; fr.Verdict != "pass" || fr.Vacuous {
+		t.Fatalf("verdict=%q vacuous=%v, want a non-vacuous pass", fr.Verdict, fr.Vacuous)
+	}
+}
+
 func TestReportIndeterminateVerdict(t *testing.T) {
 	evs := []trace.Event{
 		{Name: "forward", Cycle: 1, Time: 5},
@@ -136,8 +156,10 @@ func TestReportText(t *testing.T) {
 	rep := BuildReport(reportResults(t))
 	txt := rep.Text()
 	for _, want := range []string{
-		"assertion report (schema 1)",
+		"assertion report (schema 2)",
 		"formula lat:",
+		"analysis: verdict unknown; retention deq=1 enq=1",
+		"analysis: retention forward=11 (exact)",
 		"FAIL: 100 instances evaluated, 10 violations (10 retained)",
 		"first i=0: lhs=70 rhs=50",
 		"cycle(deq[i]) = 70",

@@ -238,45 +238,73 @@ func (o RunnerOptions) maxWindow() int64 {
 	return o.MaxWindow
 }
 
-// ring is a growable FIFO of per-instance reference-value vectors for one
-// event, indexed by absolute instance number.
+// ringPrealloc caps the up-front ring allocation (in instances). Formulas
+// with an exact retention bound at or below it never reallocate; larger or
+// inexact windows start here and double on demand.
+const ringPrealloc = 1 << 16
+
+// ring is a FIFO of per-instance reference-value vectors for one event,
+// indexed by absolute instance number. Vectors are stored flat — stride
+// float64s per instance — so the steady-state evaluation loop performs no
+// per-event allocation, and the capacity is seeded from the statically
+// inferred retention bound so typical checkers allocate exactly once.
 type ring struct {
-	base  int64 // instance number of data[head]
-	head  int
-	count int
-	data  [][]float64
+	base   int64 // instance number of the slot at head
+	head   int
+	count  int
+	stride int
+	data   []float64
 }
 
-func (r *ring) push(vals []float64) {
-	if r.count == len(r.data) {
-		grown := make([][]float64, max(4, 2*len(r.data)))
-		for k := 0; k < r.count; k++ {
-			grown[k] = r.data[(r.head+k)%len(r.data)]
-		}
-		r.data = grown
-		r.head = 0
+func newRing(stride int, bound int64) ring {
+	n := bound
+	if n > ringPrealloc {
+		n = ringPrealloc
 	}
-	r.data[(r.head+r.count)%len(r.data)] = vals
+	if n < 1 {
+		n = 1
+	}
+	return ring{stride: stride, data: make([]float64, int(n)*stride)}
+}
+
+func (r *ring) cap() int { return len(r.data) / r.stride }
+
+// pushSlot appends the next instance and returns its value slot for the
+// caller to fill in place.
+func (r *ring) pushSlot() []float64 {
+	if r.count == r.cap() {
+		grown := make([]float64, max(4, 2*r.cap())*r.stride)
+		for k := 0; k < r.count; k++ {
+			src := (r.head + k) % r.cap()
+			copy(grown[k*r.stride:(k+1)*r.stride], r.data[src*r.stride:(src+1)*r.stride])
+		}
+		r.data, r.head = grown, 0
+	}
+	k := (r.head + r.count) % r.cap()
 	r.count++
+	return r.data[k*r.stride : (k+1)*r.stride]
 }
 
 // get returns the value vector for absolute instance n, which must be
 // retained.
 func (r *ring) get(n int64) []float64 {
-	return r.data[(r.head+int(n-r.base))%len(r.data)]
+	k := (r.head + int(n-r.base)) % r.cap()
+	return r.data[k*r.stride : (k+1)*r.stride]
 }
 
 // trimBelow drops instances < n.
 func (r *ring) trimBelow(n int64) {
-	for r.count > 0 && r.base < n {
-		r.data[r.head] = nil
-		r.head = (r.head + 1) % len(r.data)
-		r.count--
-		r.base++
+	d := n - r.base
+	if d <= 0 {
+		return
 	}
-	if r.count == 0 && r.base < n {
-		r.base = n
+	if d >= int64(r.count) {
+		r.head, r.count, r.base = 0, 0, n
+		return
 	}
+	r.head = (r.head + int(d)) % r.cap()
+	r.count -= int(d)
+	r.base = n
 }
 
 // formulaEventState tracks one (formula, event) pair.
@@ -324,6 +352,13 @@ type formulaState struct {
 	refVals  []float64
 	stack    []float64
 	failed   error
+	// single marks a formula with no relative references: all its indices
+	// are pinned, so it describes exactly one instance. done records that
+	// the instance was handled, ending the stream (without it the drain
+	// loop would spin forever — nothing ever makes the next instance
+	// un-ready).
+	single bool
+	done   bool
 
 	check      *CheckResult
 	dist       *DistResult
@@ -372,6 +407,7 @@ func NewRunner(opts RunnerOptions, compiled ...*Compiled) (*Runner, error) {
 			}
 			st.dist = &DistResult{Op: f.Dist, Hist: h}
 		}
+		st.single = !c.Analysis.hasRel()
 		for ev, w := range c.Analysis.Windows {
 			st.events[ev] = &formulaEventState{window: w}
 		}
@@ -394,6 +430,20 @@ func NewRunner(opts RunnerOptions, compiled ...*Compiled) (*Runner, error) {
 				es.absSeen = append(es.absSeen, false)
 				es.absTime = append(es.absTime, 0)
 				es.absCycle = append(es.absCycle, 0)
+			}
+		}
+		// Seed each ring at its statically inferred retention bound (capped
+		// by ringPrealloc and the runtime window limit): exact bounds make
+		// the ring a single, final allocation. The two extra stride slots
+		// carry event time and cycle for witness provenance.
+		bounds := c.Analysis.Retention()
+		for ev, es := range st.events {
+			if es.window.HasRel {
+				n := bounds[ev].Instances
+				if mw := opts.maxWindow(); n > mw {
+					n = mw
+				}
+				es.ring = newRing(len(es.relSlots)+2, n)
 			}
 		}
 		r.formulas = append(r.formulas, st)
@@ -437,15 +487,28 @@ func (st *formulaState) onEvent(ev *trace.Event) error {
 			es.absCycle[k] = float64(ev.Cycle)
 		}
 	}
-	// Capture relative refs into the ring. The two extra trailing entries
-	// carry the event's time and cycle so retained violations can reconstruct
-	// full witness provenance.
+	// Capture relative refs into the ring, filling the flat slot in place
+	// (no per-event allocation). The two extra trailing entries carry the
+	// event's time and cycle so retained violations can reconstruct full
+	// witness provenance.
 	if es.window.HasRel {
+		// Trim on arrival, not just after evaluation: instances below
+		// next+MinOff can never be referenced again, and dropping them here
+		// keeps retention within the statically inferred bound even while
+		// the evaluation loop is stalled (e.g. waiting on a pinned index).
+		// The floor is clamped to this event's arriving instance — the ring
+		// equates position with instance number, so trimming past the last
+		// push would mislabel everything pushed after.
+		if floor := st.next + es.window.MinOff; floor <= n {
+			es.ring.trimBelow(floor)
+		} else {
+			es.ring.trimBelow(n)
+		}
 		if int64(es.ring.count) >= st.opts.maxWindow() {
 			return fmt.Errorf("loc: formula %s: event %q history exceeds %d instances; "+
 				"the formula requires unbounded memory on this trace", st.name, ev.Name, st.opts.maxWindow())
 		}
-		vals := make([]float64, len(es.relSlots)+2)
+		vals := es.ring.pushSlot()
 		for k, ann := range es.relAnns {
 			v, ok := ev.Annotation(ann)
 			if !ok {
@@ -456,7 +519,6 @@ func (st *formulaState) onEvent(ev *trace.Event) error {
 		}
 		vals[len(es.relSlots)] = ev.Time
 		vals[len(es.relSlots)+1] = float64(ev.Cycle)
-		es.ring.push(vals)
 		if c := int64(es.ring.count); c > st.windowPeak {
 			st.windowPeak = c
 		}
@@ -483,12 +545,22 @@ func (st *formulaState) drain() error {
 		}
 		st.next++
 		st.trim()
+		if st.single {
+			// All indices are pinned: the formula has exactly one instance,
+			// which was just handled. Mark the stream done — otherwise every
+			// later instance would be trivially "ready" and the loop would
+			// never terminate.
+			st.done = true
+		}
 	}
 }
 
 // ready reports whether instance i can be evaluated now; skip means the
 // instance is vacuous (some relative index is negative).
 func (st *formulaState) ready(i int64) (ok, skip bool) {
+	if st.done {
+		return false, false
+	}
 	skip = false
 	for _, es := range st.events {
 		for k := range es.absIdx {

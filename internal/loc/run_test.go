@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"nepdvs/internal/trace"
 )
@@ -517,9 +518,9 @@ func TestRunnerNoFormulas(t *testing.T) {
 }
 
 func TestRingGrowth(t *testing.T) {
-	var r ring
+	r := newRing(1, 1)
 	for k := int64(0); k < 1000; k++ {
-		r.push([]float64{float64(k)})
+		r.pushSlot()[0] = float64(k)
 	}
 	for k := int64(0); k < 1000; k++ {
 		if got := r.get(k)[0]; got != float64(k) {
@@ -533,9 +534,75 @@ func TestRingGrowth(t *testing.T) {
 	if got := r.get(995)[0]; got != 995 {
 		t.Fatalf("get(995) = %v", got)
 	}
-	r.push([]float64{1000})
+	r.pushSlot()[0] = 1000
 	if got := r.get(1000)[0]; got != 1000 {
 		t.Fatalf("get(1000) = %v", got)
+	}
+}
+
+func TestRingPreallocExact(t *testing.T) {
+	// A ring seeded with an exact bound should never reallocate while the
+	// retained count stays within the bound.
+	r := newRing(3, 101)
+	if r.cap() != 101 {
+		t.Fatalf("cap = %d, want 101", r.cap())
+	}
+	base := &r.data[0]
+	for k := 0; k < 500; k++ {
+		if r.count == 101 {
+			r.trimBelow(r.base + 1)
+		}
+		r.pushSlot()[0] = float64(k)
+	}
+	if &r.data[0] != base {
+		t.Fatal("ring reallocated despite staying within its exact bound")
+	}
+	// The prealloc is clamped so an absurd static bound cannot eat memory.
+	if big := newRing(1, 1<<40); big.cap() != ringPrealloc {
+		t.Fatalf("clamped cap = %d, want %d", big.cap(), ringPrealloc)
+	}
+}
+
+func TestRunnerAbsOnlySingleInstance(t *testing.T) {
+	// A formula whose references are all pinned to absolute indices has
+	// exactly one instance. The drain loop used to spin forever once the
+	// pinned events arrived (every later instance was trivially "ready");
+	// the single/done flags end the stream after instance 0.
+	c, err := Compile(MustParse("first: energy(forward[2]) - energy(forward[0]) >= 0;"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(RunnerOptions{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for k := 0; k < 10; k++ {
+			ev := trace.Event{Name: "forward", Cycle: uint64(k), Time: float64(k), Energy: float64(k)}
+			if err := r.Emit(&ev); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner hung on an abs-only formula (drain loop never terminated)")
+	}
+	res, err := r.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := res[0].Check
+	if ch.Instances != 1 || ch.Total != 0 || ch.Skipped != 0 {
+		t.Fatalf("instances=%d violations=%d skipped=%d, want exactly one passing instance",
+			ch.Instances, ch.Total, ch.Skipped)
 	}
 }
 

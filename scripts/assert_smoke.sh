@@ -36,9 +36,9 @@ echo "assert-smoke: simulating with -assertions and -timeline"
     -assertions "$WORK/live.json" -timeline "$WORK/tl.json" >"$WORK/stats.txt"
 
 echo "assert-smoke: validating the report schema"
-for field in '"schema": 1' '"formulas"' '"name": "spacing"' '"verdict": "fail"' \
+for field in '"schema": 2' '"formulas"' '"name": "spacing"' '"verdict": "fail"' \
     '"verdict": "pass"' '"verdict": "dist"' '"witness"' '"worst"' '"density"' \
-    '"retained"' '"window_peak"'; do
+    '"retained"' '"window_peak"' '"analysis"' '"retention"'; do
     grep -q "$field" "$WORK/live.json" || {
         echo "assert-smoke: FAIL: report missing $field" >&2
         exit 1

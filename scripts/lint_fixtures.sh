@@ -40,4 +40,13 @@ run badasm testdata/lint/bad.asm.want -asm testdata/lint/bad.asm
 # LOC formula referencing an annotation the trace schema does not have.
 run badloc testdata/lint/bad.loc.want -loc testdata/lint/bad.loc
 
+# Semantic pass: a formula that can never fire (typo'd event name), a
+# tautology and a contradiction — the analyzer must flag all three.
+run vacuousloc testdata/lint/vacuous.loc.want -loc testdata/lint/vacuous.loc
+
+# Allowlist staleness audit: an entry that exempts nothing must be flagged
+# by a full-tree run alongside the fixture's real finding.
+run staleallow testdata/lint/stale.allow.want \
+    -root testdata/lint/badgo -det clock -allow testdata/lint/stale.allow
+
 echo "lint-fixtures: OK"
